@@ -1,0 +1,44 @@
+//! Figure 2: motivation — average request latency of prior policies vs
+//! the Oracle, normalized to Fast-Only, under H&M and H&L.
+//!
+//! The paper's takeaway: every baseline is far from the Oracle on most
+//! workloads (41.1 %/32.6 % average loss in H&M/H&L), and no single
+//! policy wins everywhere.
+
+use sibyl_bench::{banner, hl_config, hm_config, latency_row, motivation_workloads, seed, trace_len};
+use sibyl_sim::report::Table;
+use sibyl_sim::{run_suite, PolicyKind};
+use sibyl_trace::msrc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = trace_len(25_000);
+    let policies = vec![
+        PolicyKind::SlowOnly,
+        PolicyKind::Cde,
+        PolicyKind::Hps,
+        PolicyKind::Archivist,
+        PolicyKind::RnnHss,
+        PolicyKind::Oracle,
+    ];
+    banner(
+        "Figure 2",
+        "Average request latency normalized to Fast-Only (baselines vs Oracle)",
+    );
+    for (name, cfg) in [("(a) H&M", hm_config()), ("(b) H&L", hl_config())] {
+        let mut headers = vec!["workload".to_string()];
+        headers.extend(policies.iter().map(|p| p.name().to_string()));
+        let mut table = Table::new(headers);
+        let mut rows = Vec::new();
+        for wl in motivation_workloads() {
+            let trace = msrc::generate(wl, n, seed());
+            let suite = run_suite(&cfg, &trace, &policies)?;
+            let row = latency_row(&suite);
+            table.add_row(row.clone());
+            rows.push(row);
+        }
+        sibyl_bench::append_avg_row(&mut table, &rows);
+        println!("{name} HSS configuration");
+        println!("{}", table.render());
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Figure 3: randomness and hotness characteristics of the fourteen
+//! MSRC workloads — average request size (KiB) vs average access count.
+
+use sibyl_bench::{all_workloads, banner, seed, trace_len};
+use sibyl_sim::report::Table;
+use sibyl_trace::{msrc, stats::TraceStats};
+
+fn main() {
+    let n = trace_len(30_000);
+    banner(
+        "Figure 3",
+        "Hotness (avg access count) vs randomness (avg request size) per workload",
+    );
+    let mut table = Table::new(vec![
+        "workload".into(),
+        "avg access count".into(),
+        "avg request size (KiB)".into(),
+        "character".into(),
+    ]);
+    for wl in all_workloads() {
+        let st = TraceStats::measure(&msrc::generate(wl, n, seed()));
+        let hot = if st.avg_access_count >= 10.0 { "hot" } else { "cold" };
+        let seq = if st.avg_request_size_kib >= 20.0 {
+            "sequential"
+        } else {
+            "random"
+        };
+        table.add_row(vec![
+            st.name.clone(),
+            format!("{:.1}", st.avg_access_count),
+            format!("{:.1}", st.avg_request_size_kib),
+            format!("{hot}/{seq}"),
+        ]);
+    }
+    println!("{}", table.render());
+}

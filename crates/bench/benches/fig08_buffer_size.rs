@@ -1,0 +1,40 @@
+//! Figure 8: effect of the experience-buffer size on Sibyl's average
+//! request latency (normalized to Fast-Only) in the H&M configuration.
+//! The paper observes saturation at 1000 entries.
+
+use sibyl_bench::{banner, hm_config, seed, trace_len};
+use sibyl_core::SibylConfig;
+use sibyl_sim::report::Table;
+use sibyl_sim::{run_suite, PolicyKind};
+use sibyl_trace::msrc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = trace_len(25_000);
+    banner(
+        "Figure 8",
+        "Sibyl normalized latency vs experience-buffer size (H&M)",
+    );
+    let workloads = [msrc::Workload::Rsrch0, msrc::Workload::Prxy1];
+    let sizes = [1usize, 10, 100, 1_000, 10_000];
+    let mut table = Table::new(
+        std::iter::once("buffer size".to_string())
+            .chain(workloads.iter().map(|w| w.name().to_string()))
+            .collect(),
+    );
+    for &size in &sizes {
+        let mut row = vec![size.to_string()];
+        for &wl in &workloads {
+            let trace = msrc::generate(wl, n, seed());
+            let cfg = SibylConfig {
+                buffer_capacity: size,
+                ..Default::default()
+            };
+            let suite = run_suite(&hm_config(), &trace, &[PolicyKind::sibyl_with(cfg)])?;
+            row.push(format!("{:.2}", suite.normalized_latency(0)));
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.render());
+    println!("(The paper selects 1000 entries, where performance saturates.)");
+    Ok(())
+}

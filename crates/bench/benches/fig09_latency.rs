@@ -1,0 +1,38 @@
+//! Figure 9: the paper's main result — average request latency of all
+//! seven policies on all fourteen workloads under H&M and H&L, normalized
+//! to Fast-Only.
+//!
+//! Headline claims being reproduced in shape: Sibyl outperforms the
+//! heuristic and supervised baselines on average, and reaches ~80 % of
+//! the Oracle.
+
+use sibyl_bench::{all_workloads, banner, hl_config, hm_config, latency_row, seed, trace_len};
+use sibyl_sim::report::Table;
+use sibyl_sim::{run_suite, PolicyKind};
+use sibyl_trace::msrc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = trace_len(25_000);
+    let policies = PolicyKind::standard_suite();
+    banner(
+        "Figure 9",
+        "Average request latency normalized to Fast-Only (all policies, all workloads)",
+    );
+    for (name, cfg) in [("(a) H&M", hm_config()), ("(b) H&L", hl_config())] {
+        let mut headers = vec!["workload".to_string()];
+        headers.extend(policies.iter().map(|p| p.name().to_string()));
+        let mut table = Table::new(headers);
+        let mut rows = Vec::new();
+        for wl in all_workloads() {
+            let trace = msrc::generate(wl, n, seed());
+            let suite = run_suite(&cfg, &trace, &policies)?;
+            let row = latency_row(&suite);
+            table.add_row(row.clone());
+            rows.push(row);
+        }
+        sibyl_bench::append_avg_row(&mut table, &rows);
+        println!("{name} HSS configuration");
+        println!("{}", table.render());
+    }
+    Ok(())
+}

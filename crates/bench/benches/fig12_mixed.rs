@@ -1,0 +1,50 @@
+//! Figure 12: mixed workloads (Table 5's mix1–mix6) with default and
+//! mixed-optimized Sibyl hyper-parameters, under H&M and H&L.
+
+use sibyl_bench::{banner, hl_config, hm_config, latency_row, seed, trace_len};
+use sibyl_sim::report::Table;
+use sibyl_sim::{run_suite, PolicyKind};
+use sibyl_trace::mix::Mix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_per_component = trace_len(10_000);
+    let mut policies = vec![
+        PolicyKind::SlowOnly,
+        PolicyKind::Cde,
+        PolicyKind::Hps,
+        PolicyKind::Archivist,
+        PolicyKind::RnnHss,
+    ];
+    policies.push(PolicyKind::sibyl()); // Sibyl_Def
+    policies.push(PolicyKind::sibyl_opt()); // Sibyl_Opt (α = 1e-5)
+    policies.push(PolicyKind::Oracle);
+    banner(
+        "Figure 12",
+        "Average request latency on mixed workloads (normalized to Fast-Only)",
+    );
+    for (name, cfg) in [("(a) H&M", hm_config()), ("(b) H&L", hl_config())] {
+        let mut headers = vec!["mix".to_string()];
+        headers.extend(policies.iter().map(|p| p.name().to_string()));
+        // Distinguish the two Sibyl columns.
+        let mut seen_sibyl = false;
+        for h in headers.iter_mut() {
+            if h == "Sibyl" {
+                *h = if seen_sibyl { "Sibyl_Opt".into() } else { "Sibyl_Def".into() };
+                seen_sibyl = true;
+            }
+        }
+        let mut table = Table::new(headers);
+        let mut rows = Vec::new();
+        for m in Mix::ALL {
+            let trace = m.generate(n_per_component, seed());
+            let suite = run_suite(&cfg, &trace, &policies)?;
+            let row = latency_row(&suite);
+            table.add_row(row.clone());
+            rows.push(row);
+        }
+        sibyl_bench::append_avg_row(&mut table, &rows);
+        println!("{name} HSS configuration");
+        println!("{}", table.render());
+    }
+    Ok(())
+}

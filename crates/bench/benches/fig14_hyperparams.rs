@@ -1,0 +1,61 @@
+//! Figure 14: sensitivity of Sibyl's throughput to the discount factor
+//! (γ), learning rate (α), and exploration rate (ε), averaged across
+//! workloads, under H&M.
+
+use sibyl_bench::{banner, hm_config, seed, trace_len};
+use sibyl_core::SibylConfig;
+use sibyl_sim::report::Table;
+use sibyl_sim::{Experiment, PolicyKind};
+use sibyl_trace::msrc;
+
+fn sweep<F>(name: &str, values: &[f64], mut mutate: F, n: usize) -> Result<(), Box<dyn std::error::Error>>
+where
+    F: FnMut(&mut SibylConfig, f64),
+{
+    let workloads = [msrc::Workload::Rsrch0, msrc::Workload::Prxy1, msrc::Workload::Usr0];
+    let mut table = Table::new(vec![name.to_string(), "normalized IOPS (avg)".to_string()]);
+    for &v in values {
+        let mut acc = 0.0f64;
+        for &wl in &workloads {
+            let trace = msrc::generate(wl, n, seed());
+            let exp = Experiment::new(hm_config(), trace).with_time_scale(40.0);
+            let fast = exp.run(PolicyKind::FastOnly)?;
+            let mut cfg = SibylConfig::default();
+            mutate(&mut cfg, v);
+            let out = exp.run(PolicyKind::sibyl_with(cfg))?;
+            acc += out.metrics.iops / fast.metrics.iops.max(1e-9);
+        }
+        table.add_row(vec![format!("{v}"), format!("{:.3}", acc / workloads.len() as f64)]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = trace_len(12_000);
+    banner(
+        "Figure 14",
+        "Sibyl throughput sensitivity to γ, α, ε (H&M, normalized to Fast-Only)",
+    );
+    println!("(a) discount factor γ");
+    sweep("gamma", &[0.0, 0.1, 0.5, 0.9, 0.95, 1.0], |c, v| c.discount = v as f32, n)?;
+    println!("(b) learning rate α");
+    sweep(
+        "alpha",
+        &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
+        |c, v| c.learning_rate = v as f32,
+        n,
+    )?;
+    println!("(c) exploration rate ε");
+    sweep(
+        "epsilon",
+        &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0],
+        |c, v| {
+            c.exploration = v;
+            c.exploration_initial = c.exploration_initial.max(v);
+        },
+        n,
+    )?;
+    println!("(Paper: γ = 0 and ε ≥ 0.1 hurt sharply; mid-range α is best.)");
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Figure 16: tri-hybrid storage systems — the hot/cold/frozen heuristic
+//! vs Sibyl on H&M&L and H&M&Lssd (normalized to Fast-Only).
+//!
+//! Extending Sibyl needed only (1) one more action and (2) the remaining
+//! capacity of M as a state feature — both happen automatically from the
+//! device count (§8.7).
+
+use sibyl_bench::{all_workloads, banner, hml_config, hml_ssd_config, latency_row, seed, trace_len};
+use sibyl_sim::report::Table;
+use sibyl_sim::{run_suite, PolicyKind};
+use sibyl_trace::msrc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = trace_len(25_000);
+    let policies = vec![PolicyKind::TriHybridHeuristic, PolicyKind::sibyl()];
+    banner(
+        "Figure 16",
+        "Tri-HSS average request latency normalized to Fast-Only",
+    );
+    for (name, cfg) in [("(a) H&M&L", hml_config()), ("(b) H&M&Lssd", hml_ssd_config())] {
+        let mut headers = vec!["workload".to_string()];
+        headers.extend(policies.iter().map(|p| p.name().to_string()));
+        let mut table = Table::new(headers);
+        let mut rows = Vec::new();
+        for wl in all_workloads() {
+            let trace = msrc::generate(wl, n, seed());
+            let suite = run_suite(&cfg, &trace, &policies)?;
+            let row = latency_row(&suite);
+            table.add_row(row.clone());
+            rows.push(row);
+        }
+        sibyl_bench::append_avg_row(&mut table, &rows);
+        println!("{name} configuration");
+        println!("{}", table.render());
+    }
+    Ok(())
+}

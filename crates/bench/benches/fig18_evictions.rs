@@ -1,0 +1,47 @@
+//! Figure 18: evictions from fast to slow storage as a fraction of all
+//! requests, per policy, under H&M and H&L.
+//!
+//! The paper's reading: CDE's aggressive fast placement causes the most
+//! evictions; Sibyl evicts far less in H&M but willingly evicts in H&L
+//! where fast service is worth the churn.
+
+use sibyl_bench::{all_workloads, banner, hl_config, hm_config, seed, trace_len};
+use sibyl_sim::report::Table;
+use sibyl_sim::{Experiment, PolicyKind};
+use sibyl_trace::msrc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = trace_len(15_000);
+    let policies = vec![
+        PolicyKind::Cde,
+        PolicyKind::Hps,
+        PolicyKind::Archivist,
+        PolicyKind::RnnHss,
+        PolicyKind::sibyl(),
+    ];
+    banner(
+        "Figure 18",
+        "Eviction events as a fraction of all storage requests",
+    );
+    for (name, cfg) in [("(a) H&M", hm_config()), ("(b) H&L", hl_config())] {
+        let mut headers = vec!["workload".to_string()];
+        headers.extend(policies.iter().map(|p| p.name().to_string()));
+        let mut table = Table::new(headers);
+        let mut rows = Vec::new();
+        for wl in all_workloads() {
+            let trace = msrc::generate(wl, n, seed());
+            let exp = Experiment::new(cfg.clone(), trace.clone());
+            let mut row = vec![trace.name().to_string()];
+            for p in &policies {
+                let out = exp.run(p.clone())?;
+                row.push(format!("{:.3}", out.metrics.eviction_fraction));
+            }
+            table.add_row(row.clone());
+            rows.push(row);
+        }
+        sibyl_bench::append_avg_row(&mut table, &rows);
+        println!("{name} HSS configuration");
+        println!("{}", table.render());
+    }
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! §10 overhead analysis: inference latency, training-step latency, and
+//! storage accounting, measured with Criterion.
+//!
+//! The paper reports ~780 MACs ≈ tens of nanoseconds per inference on a
+//! desktop CPU, a training step well under the I/O latency of a fast SSD,
+//! and a 124.4 KiB total storage overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rand::SeedableRng;
+use sibyl_core::{Experience, OverheadReport, SibylConfig};
+use sibyl_nn::{Activation, Mlp};
+
+fn inference_benchmark(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    // The paper's §10 network: 6-20-30-2.
+    let paper_net = Mlp::new(&[6, 20, 30, 2], Activation::Swish, Activation::Linear, &mut rng);
+    let obs = [0.3f32, 1.0, 0.4, 0.6, 0.9, 0.0];
+    c.bench_function("inference_paper_network_780_macs", |b| {
+        b.iter(|| std::hint::black_box(paper_net.infer(std::hint::black_box(&obs))))
+    });
+
+    // Our default C51 head (6-20-30-102).
+    let c51_net = Mlp::new(&[6, 20, 30, 102], Activation::Swish, Activation::Linear, &mut rng);
+    c.bench_function("inference_c51_network", |b| {
+        b.iter(|| std::hint::black_box(c51_net.infer(std::hint::black_box(&obs))))
+    });
+}
+
+fn training_benchmark(c: &mut Criterion) {
+    // One full training step (8 batches × 128) through the public agent
+    // machinery is exercised indirectly; here we measure the raw
+    // forward+backward cost the paper counts (1,597,440 MACs).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut net = Mlp::new(&[6, 20, 30, 2], Activation::Swish, Activation::Linear, &mut rng);
+    let obs = [0.3f32, 1.0, 0.4, 0.6, 0.9, 0.0];
+    c.bench_function("train_sample_forward_backward", |b| {
+        b.iter(|| {
+            let y = net.forward(std::hint::black_box(&obs));
+            let grad: Vec<f32> = y.iter().map(|v| 2.0 * v).collect();
+            net.zero_grad();
+            std::hint::black_box(net.backward(&grad));
+        })
+    });
+}
+
+fn buffer_benchmark(c: &mut Criterion) {
+    use sibyl_core::ExperienceBuffer;
+    let mut buf = ExperienceBuffer::new(1000);
+    let mut i = 0u32;
+    c.bench_function("experience_buffer_push", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            buf.push(Experience {
+                obs: vec![i as f32 * 1e-3; 6],
+                action: (i % 2) as usize,
+                reward: i as f32 * 1e-4,
+                next_obs: vec![i as f32 * 1e-3 + 0.5; 6],
+            });
+        })
+    });
+}
+
+fn print_storage_accounting() {
+    let report = OverheadReport::paper_network(2);
+    let (net, buf, total) = report.paper_accounting_kib();
+    println!("--- §10.2 storage accounting (paper arithmetic) ---");
+    println!("weights: {} (paper: 780)", report.weights);
+    println!("inference MACs: {} (paper: 780)", report.inference_macs);
+    println!(
+        "training-step MACs fwd+bwd: {} (paper: 1,597,440)",
+        2 * report.training_step_macs_forward
+    );
+    println!("per network: {net:.1} KiB (paper: 12.2)");
+    println!("experience buffer: {buf:.1} KiB (paper: 100)");
+    println!("total: {total:.1} KiB (paper: 124.4)");
+    let c51 = OverheadReport::for_config(&SibylConfig::default(), 2, 6);
+    println!(
+        "our default C51 head: {} weights, {} strict bytes total",
+        c51.weights, c51.total_bytes
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    print_storage_accounting();
+    inference_benchmark(c);
+    training_benchmark(c);
+    buffer_benchmark(c);
+}
+
+criterion_group! {
+    name = overhead;
+    config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(overhead);

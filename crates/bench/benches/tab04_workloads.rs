@@ -1,0 +1,41 @@
+//! Table 4: characteristics of the fourteen evaluated workloads —
+//! measured from the synthesized traces, side by side with the paper's
+//! published targets.
+
+use sibyl_bench::{all_workloads, banner, seed, trace_len};
+use sibyl_sim::report::Table;
+use sibyl_trace::{msrc, stats::TraceStats};
+
+fn main() {
+    let n = trace_len(30_000);
+    banner(
+        "Table 4",
+        "Measured workload characteristics vs the paper's published values",
+    );
+    let mut table = Table::new(vec![
+        "workload".into(),
+        "write% (paper)".into(),
+        "write% (ours)".into(),
+        "KiB (paper)".into(),
+        "KiB (ours)".into(),
+        "count (paper)".into(),
+        "count (ours)".into(),
+        "uniq reqs (ours)".into(),
+    ]);
+    for wl in all_workloads() {
+        let spec = wl.spec();
+        let st = TraceStats::measure(&msrc::generate(wl, n, seed()));
+        table.add_row(vec![
+            st.name.clone(),
+            format!("{:.1}", spec.write_fraction * 100.0),
+            format!("{:.1}", st.write_fraction * 100.0),
+            format!("{:.1}", spec.avg_request_size_kib),
+            format!("{:.1}", st.avg_request_size_kib),
+            format!("{:.1}", spec.avg_access_count),
+            format!("{:.1}", st.avg_access_count),
+            format!("{}", st.unique_requests),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(Access counts scale with trace length; the paper's values are for full-week traces.)");
+}

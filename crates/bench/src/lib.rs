@@ -1,0 +1,144 @@
+//! # sibyl-bench
+//!
+//! Shared scaffolding for the per-figure benchmark targets. Every table
+//! and figure in the Sibyl paper's motivation/evaluation sections has a
+//! `benches/figNN_*.rs` target that regenerates its rows/series; this
+//! crate holds the pieces they share.
+//!
+//! Run a single figure with
+//! `cargo bench -p sibyl-bench --bench fig09_latency`, or everything with
+//! `cargo bench --workspace`. `SIBYL_REQS` scales trace lengths
+//! (default: a laptop-friendly size per figure); `SIBYL_SEED` overrides
+//! the workload seed.
+
+#![warn(missing_docs)]
+
+use sibyl_hss::{DeviceSpec, HssConfig};
+use sibyl_sim::report::Table;
+use sibyl_sim::SuiteResult;
+use sibyl_trace::msrc::Workload;
+
+/// Requests per workload, overridable with `SIBYL_REQS`.
+pub fn trace_len(default: usize) -> usize {
+    std::env::var("SIBYL_REQS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Workload seed, overridable with `SIBYL_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("SIBYL_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// The paper's performance-oriented H&M configuration (Optane + TLC SSD).
+pub fn hm_config() -> HssConfig {
+    HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd())
+}
+
+/// The paper's cost-oriented H&L configuration (Optane + HDD).
+pub fn hl_config() -> HssConfig {
+    HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd())
+}
+
+/// The paper's H&M&L tri-hybrid configuration.
+pub fn hml_config() -> HssConfig {
+    HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd())
+}
+
+/// The paper's H&M&Lssd tri-hybrid configuration.
+pub fn hml_ssd_config() -> HssConfig {
+    HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::cheap_ssd())
+}
+
+/// A 6-workload subset used where running all 14 would make a sweep
+/// bench unreasonably slow (the motivation figure's subset).
+pub fn motivation_workloads() -> Vec<Workload> {
+    Workload::MOTIVATION.to_vec()
+}
+
+/// All 14 Table 4 workloads.
+pub fn all_workloads() -> Vec<Workload> {
+    Workload::ALL.to_vec()
+}
+
+/// Prints a figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!("\n=== {figure} ===");
+    println!("{caption}\n");
+}
+
+/// Builds a normalized-latency table row for one workload's suite result.
+pub fn latency_row(suite: &SuiteResult) -> Vec<String> {
+    let mut row = vec![suite.workload.clone()];
+    for i in 0..suite.outcomes.len() {
+        row.push(format!("{:.2}", suite.normalized_latency(i)));
+    }
+    row
+}
+
+/// Builds a normalized-IOPS table row for one workload's suite result.
+pub fn iops_row(suite: &SuiteResult) -> Vec<String> {
+    let mut row = vec![suite.workload.clone()];
+    for i in 0..suite.outcomes.len() {
+        row.push(format!("{:.3}", suite.normalized_iops(i)));
+    }
+    row
+}
+
+/// Appends a geometric-mean row across previously added numeric rows.
+pub fn append_avg_row(table: &mut Table, rows: &[Vec<String>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let cols = rows[0].len();
+    let mut avg = vec!["AVG".to_string()];
+    for c in 1..cols {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.get(c).and_then(|v| v.parse::<f64>().ok()))
+            .collect();
+        if vals.is_empty() {
+            avg.push(String::new());
+        } else {
+            let gm = (vals.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / vals.len() as f64).exp();
+            avg.push(format!("{gm:.2}"));
+        }
+    }
+    table.add_row(avg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_apply() {
+        assert!(trace_len(1234) >= 1);
+        let _ = seed();
+    }
+
+    #[test]
+    fn configs_have_expected_shapes() {
+        assert_eq!(hm_config().num_devices(), 2);
+        assert_eq!(hml_config().num_devices(), 3);
+        assert_eq!(hml_ssd_config().num_devices(), 3);
+    }
+
+    #[test]
+    fn avg_row_is_geometric_mean() {
+        let mut t = Table::new(vec!["w".into(), "x".into()]);
+        let rows = vec![
+            vec!["a".to_string(), "1.00".to_string()],
+            vec!["b".to_string(), "4.00".to_string()],
+        ];
+        for r in &rows {
+            t.add_row(r.clone());
+        }
+        append_avg_row(&mut t, &rows);
+        assert!(t.render().contains("2.00"), "{}", t.render());
+    }
+}

@@ -1,0 +1,445 @@
+//! The Sibyl agent: an online reinforcement-learning placement policy.
+//!
+//! This is the paper's contribution assembled: per-request observation of
+//! the Table 1 state features, ε-greedy action selection from an
+//! inference network, reward computed from served latency and eviction
+//! penalty (Eq. 1), experience collection into a replay buffer, periodic
+//! training of a separate training network, and training → inference
+//! weight copies every `train_interval` requests (Algorithm 1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sibyl_hss::{AccessOutcome, DeviceId, PlacementContext, PlacementPolicy, StorageManager};
+use sibyl_nn::Mlp;
+use sibyl_trace::IoRequest;
+
+use crate::buffer::Experience;
+use crate::config::{SibylConfig, TrainingMode};
+use crate::features::StateEncoder;
+use crate::learner::{Learner, ValueHead};
+use crate::reward::RewardShaper;
+use crate::trainer::BackgroundTrainer;
+
+/// Counters describing the agent's activity during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Placement decisions made.
+    pub decisions: u64,
+    /// Decisions taken by random exploration (ε branch).
+    pub explorations: u64,
+    /// Experiences pushed toward the learner.
+    pub experiences: u64,
+    /// Training steps completed (synchronous mode) or observed
+    /// (background mode).
+    pub train_steps: u64,
+    /// Training→inference weight synchronizations.
+    pub weight_syncs: u64,
+}
+
+/// Where training runs (resolved from [`TrainingMode`]).
+#[derive(Debug)]
+enum Engine {
+    /// Learner runs inline on the decision path.
+    Synchronous(Box<Learner>),
+    /// Learner runs on a background thread (Fig. 7(a)).
+    Background(BackgroundTrainer),
+}
+
+/// A decision awaiting its reward and next observation.
+#[derive(Debug, Clone)]
+struct Pending {
+    obs: Vec<f32>,
+    action: usize,
+    reward: Option<f32>,
+}
+
+/// Lazily-built runtime state (needs the storage manager's shape).
+#[derive(Debug)]
+struct Runtime {
+    encoder: StateEncoder,
+    head: ValueHead,
+    inference_net: Mlp,
+    engine: Engine,
+    shaper: RewardShaper,
+    n_actions: usize,
+    last_generation: u64,
+}
+
+/// The Sibyl reinforcement-learning data-placement agent.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_core::{SibylAgent, SibylConfig};
+/// use sibyl_hss::PlacementPolicy;
+/// let agent = SibylAgent::new(SibylConfig::default());
+/// assert_eq!(agent.name(), "Sibyl");
+/// ```
+#[derive(Debug)]
+pub struct SibylAgent {
+    config: SibylConfig,
+    runtime: Option<Runtime>,
+    pending: Option<Pending>,
+    rng: StdRng,
+    stats: AgentStats,
+    pushes_seen: u64,
+    next_train_at: u64,
+}
+
+impl SibylAgent {
+    /// Creates an agent with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// (see [`SibylConfig::validate`]).
+    pub fn new(config: SibylConfig) -> Self {
+        config.validate();
+        let rng = StdRng::seed_from_u64(config.seed);
+        let next_train_at = config.train_interval;
+        SibylAgent {
+            config,
+            runtime: None,
+            pending: None,
+            rng,
+            stats: AgentStats::default(),
+            pushes_seen: 0,
+            next_train_at,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &SibylConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &AgentStats {
+        &self.stats
+    }
+
+    /// The inference network's multiply-accumulate count per decision
+    /// (§10.1), available once the agent has seen its first request.
+    pub fn inference_macs(&self) -> Option<usize> {
+        self.runtime.as_ref().map(|r| r.inference_net.mac_count())
+    }
+
+    fn ensure_runtime(&mut self, manager: &StorageManager) {
+        if self.runtime.is_some() {
+            return;
+        }
+        let n_actions = manager.num_devices();
+        let encoder = StateEncoder::new(self.config.feature_mask, n_actions);
+        let obs_len = encoder.observation_len();
+        let head = ValueHead::new(&self.config, n_actions);
+        let shaper = RewardShaper::new(
+            self.config.reward_kind,
+            self.config.eviction_penalty_coeff,
+            manager.device(DeviceId(0)).spec().min_read_service_us(),
+            self.config.clamp_eviction_reward,
+            self.config.v_min as f64,
+        );
+        let (engine, inference_net) = match self.config.training_mode {
+            TrainingMode::Synchronous => {
+                let learner = Learner::new(&self.config, n_actions, obs_len);
+                let net = learner.weights_snapshot();
+                (Engine::Synchronous(Box::new(learner)), net)
+            }
+            TrainingMode::Background => {
+                let trainer = BackgroundTrainer::spawn(&self.config, n_actions, obs_len);
+                let net = trainer.published.lock().weights.clone();
+                (Engine::Background(trainer), net)
+            }
+        };
+        self.runtime = Some(Runtime {
+            encoder,
+            head,
+            inference_net,
+            engine,
+            shaper,
+            n_actions,
+            last_generation: 0,
+        });
+    }
+
+    /// Pushes a finalized experience into the learner and, in synchronous
+    /// mode, runs due training steps + weight syncs.
+    fn push_experience(&mut self, exp: Experience) {
+        self.stats.experiences += 1;
+        self.pushes_seen += 1;
+        let due = self.pushes_seen >= self.next_train_at;
+        if due {
+            self.next_train_at += self.config.train_interval;
+        }
+        let rt = self.runtime.as_mut().expect("runtime initialized");
+        match &mut rt.engine {
+            Engine::Synchronous(learner) => {
+                learner.push(exp);
+                if due && learner.train_step().is_some() {
+                    rt.inference_net.copy_weights_from(&learner.weights_snapshot());
+                    self.stats.train_steps = learner.train_steps;
+                    self.stats.weight_syncs += 1;
+                }
+            }
+            Engine::Background(trainer) => {
+                trainer.send(exp);
+                // Adopt any newly published weights (cheap try-lock so the
+                // decision path never blocks on the trainer).
+                if let Some(p) = trainer.published.try_lock() {
+                    if p.generation > rt.last_generation {
+                        rt.inference_net.copy_weights_from(&p.weights);
+                        rt.last_generation = p.generation;
+                        self.stats.train_steps = p.train_steps;
+                        self.stats.weight_syncs += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Changes the learning rate online (synchronous mode only; the
+    /// Sibyl_Opt configuration of §8.3 uses a lower rate from the start).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        if let Some(rt) = self.runtime.as_mut() {
+            if let Engine::Synchronous(learner) = &mut rt.engine {
+                learner.set_learning_rate(lr);
+            }
+        }
+    }
+}
+
+impl PlacementPolicy for SibylAgent {
+    fn name(&self) -> &str {
+        "Sibyl"
+    }
+
+    fn place(&mut self, req: &IoRequest, ctx: &PlacementContext<'_>) -> DeviceId {
+        self.ensure_runtime(ctx.manager);
+        let obs = {
+            let rt = self.runtime.as_ref().expect("runtime initialized");
+            rt.encoder.observe(req, ctx.manager)
+        };
+
+        // Finalize the previous decision now that its next-state is known
+        // (experience = ⟨O_t, a_t, r_t, O_{t+1}⟩, §6 footnote 6).
+        if let Some(prev) = self.pending.take() {
+            if let Some(reward) = prev.reward {
+                self.push_experience(Experience {
+                    obs: prev.obs,
+                    action: prev.action,
+                    reward,
+                    next_obs: obs.vector.clone(),
+                });
+            }
+        }
+
+        let rt = self.runtime.as_mut().expect("runtime initialized");
+        // Linear ε anneal from `exploration_initial` to the tuned final ε.
+        let progress = if self.config.exploration_decay_requests == 0 {
+            1.0
+        } else {
+            (self.stats.decisions as f64 / self.config.exploration_decay_requests as f64).min(1.0)
+        };
+        let eps = self.config.exploration_initial
+            + (self.config.exploration - self.config.exploration_initial) * progress;
+        let explore = self.rng.gen::<f64>() < eps;
+        let action = if explore {
+            self.stats.explorations += 1;
+            self.rng.gen_range(0..rt.n_actions)
+        } else {
+            let logits = rt.inference_net.infer(&obs.vector);
+            rt.head.best_action(&logits)
+        };
+        self.stats.decisions += 1;
+        self.pending = Some(Pending {
+            obs: obs.vector,
+            action,
+            reward: None,
+        });
+        DeviceId(action)
+    }
+
+    fn feedback(&mut self, _req: &IoRequest, outcome: &AccessOutcome, _ctx: &PlacementContext<'_>) {
+        let Some(rt) = self.runtime.as_ref() else { return };
+        if let Some(pending) = self.pending.as_mut() {
+            pending.reward = Some(rt.shaper.reward(outcome));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_hss::{DeviceSpec, HssConfig};
+    use sibyl_trace::IoOp;
+
+    fn manager(fast_pages: u64) -> StorageManager {
+        let cfg = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd())
+            .with_capacity_pages(vec![fast_pages, u64::MAX]);
+        StorageManager::new(&cfg)
+    }
+
+    fn fast_test_config() -> SibylConfig {
+        SibylConfig {
+            buffer_capacity: 256,
+            train_interval: 128,
+            batch_size: 32,
+            batches_per_step: 2,
+            n_atoms: 11,
+            learning_rate: 0.01,
+            exploration: 0.05,
+            exploration_initial: 0.3,
+            exploration_decay_requests: 500,
+            ..Default::default()
+        }
+    }
+
+    /// Drives the agent through a request stream against a real manager.
+    fn drive(agent: &mut SibylAgent, mgr: &mut StorageManager, reqs: &[IoRequest]) {
+        for (i, req) in reqs.iter().enumerate() {
+            let target = {
+                let ctx = PlacementContext { manager: mgr, seq: i as u64 };
+                agent.place(req, &ctx)
+            };
+            let outcome = mgr.access(req, target);
+            let ctx = PlacementContext { manager: mgr, seq: i as u64 };
+            agent.feedback(req, &outcome, &ctx);
+        }
+    }
+
+    fn hot_cold_stream(n: usize) -> Vec<IoRequest> {
+        // Odd requests hammer 8 hot pages; even requests stream cold data.
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    IoRequest::new(i as u64 * 300, (i as u64) % 8, 1, IoOp::Write)
+                } else {
+                    IoRequest::new(i as u64 * 300, 10_000 + i as u64 * 8, 8, IoOp::Read)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agent_runs_and_collects_experiences() {
+        let mut mgr = manager(512);
+        let mut agent = SibylAgent::new(fast_test_config());
+        drive(&mut agent, &mut mgr, &hot_cold_stream(600));
+        let st = agent.stats();
+        assert_eq!(st.decisions, 600);
+        assert!(st.experiences >= 590, "experiences: {}", st.experiences);
+        assert!(st.train_steps >= 3, "train steps: {}", st.train_steps);
+        assert!(st.weight_syncs >= 3);
+    }
+
+    #[test]
+    fn exploration_rate_drives_random_actions() {
+        let mut mgr = manager(512);
+        let mut cfg = fast_test_config();
+        cfg.exploration = 0.5;
+        cfg.exploration_initial = 0.5; // constant ε
+        let mut agent = SibylAgent::new(cfg);
+        drive(&mut agent, &mut mgr, &hot_cold_stream(1_000));
+        let frac = agent.stats().explorations as f64 / agent.stats().decisions as f64;
+        assert!((frac - 0.5).abs() < 0.1, "exploration fraction {frac}");
+    }
+
+    #[test]
+    fn zero_exploration_is_always_greedy() {
+        let mut mgr = manager(512);
+        let mut cfg = fast_test_config();
+        cfg.exploration = 0.0;
+        cfg.exploration_initial = 0.0;
+        let mut agent = SibylAgent::new(cfg);
+        drive(&mut agent, &mut mgr, &hot_cold_stream(300));
+        assert_eq!(agent.stats().explorations, 0);
+    }
+
+    #[test]
+    fn exploration_anneals_from_initial_to_final() {
+        let mut mgr = manager(512);
+        let mut cfg = fast_test_config();
+        cfg.exploration = 0.0;
+        cfg.exploration_initial = 1.0;
+        cfg.exploration_decay_requests = 200;
+        let mut agent = SibylAgent::new(cfg);
+        drive(&mut agent, &mut mgr, &hot_cold_stream(1_000));
+        // Expected randoms ≈ ∫ anneal = 200·0.5 = 100, none afterwards.
+        let e = agent.stats().explorations;
+        assert!((60..=140).contains(&e), "explorations {e}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut mgr = manager(256);
+            let mut agent = SibylAgent::new(fast_test_config());
+            drive(&mut agent, &mut mgr, &hot_cold_stream(500));
+            mgr.stats().avg_latency_us()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "synchronous agent must be deterministic");
+    }
+
+    #[test]
+    fn learns_to_keep_hot_pages_fast() {
+        // A tiny fast device that fits the hot set but not the cold
+        // stream: after training, the agent should place hot writes fast
+        // much more often than cold streams.
+        let mut mgr = manager(64);
+        let mut agent = SibylAgent::new(fast_test_config());
+        drive(&mut agent, &mut mgr, &hot_cold_stream(4_000));
+        // Compare against Slow-Only on the same workload.
+        let mut slow_mgr = manager(64);
+        for (i, req) in hot_cold_stream(4_000).iter().enumerate() {
+            let _ = i;
+            let _ = slow_mgr.access(req, DeviceId(1));
+        }
+        let sibyl_lat = mgr.stats().avg_latency_us();
+        let slow_lat = slow_mgr.stats().avg_latency_us();
+        assert!(
+            sibyl_lat < slow_lat,
+            "Sibyl ({sibyl_lat:.0} µs) should beat Slow-Only ({slow_lat:.0} µs)"
+        );
+    }
+
+    #[test]
+    fn background_mode_runs_and_shuts_down() {
+        let mut mgr = manager(256);
+        let mut cfg = fast_test_config();
+        cfg.training_mode = TrainingMode::Background;
+        let mut agent = SibylAgent::new(cfg);
+        drive(&mut agent, &mut mgr, &hot_cold_stream(2_000));
+        assert_eq!(agent.stats().decisions, 2_000);
+        // Give the trainer a moment, then drop (joins the thread).
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(agent);
+    }
+
+    #[test]
+    fn tri_device_action_space() {
+        let cfg = HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd())
+            .with_capacity_pages(vec![64, 128, u64::MAX]);
+        let mut mgr = StorageManager::new(&cfg);
+        let mut agent = SibylAgent::new(fast_test_config());
+        let reqs = hot_cold_stream(900);
+        drive(&mut agent, &mut mgr, &reqs);
+        // All three devices should have received at least one placement.
+        let placements = &mgr.stats().placements;
+        assert_eq!(placements.len(), 3);
+        assert_eq!(placements.iter().sum::<u64>(), 900);
+    }
+
+    #[test]
+    fn inference_macs_reported_after_first_request() {
+        let mut mgr = manager(64);
+        let mut agent = SibylAgent::new(fast_test_config());
+        assert!(agent.inference_macs().is_none());
+        drive(&mut agent, &mut mgr, &hot_cold_stream(2));
+        let macs = agent.inference_macs().expect("runtime built");
+        // 6·20 + 20·30 + 30·(2·11) = 120 + 600 + 660
+        assert_eq!(macs, 1380);
+    }
+}

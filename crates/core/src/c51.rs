@@ -1,0 +1,282 @@
+//! Categorical distributional Q-learning (C51, Bellemare et al. 2017).
+//!
+//! Sibyl uses a Categorical Deep Q-Network "to learn the *distribution*
+//! of Q-values, whereas other variants of Deep Q-Networks aim to
+//! approximate a single value" (§6.2.1). The network emits `|A| × N`
+//! logits; soft-maxing each action's block yields a categorical
+//! distribution over a fixed value support `z_0..z_{N−1}`, and
+//! `Q(s, a) = Σ z_i · p_i(s, a)`. Training projects the Bellman-updated
+//! distribution `r + γ·z` back onto the support and minimizes
+//! cross-entropy.
+
+use serde::{Deserialize, Serialize};
+
+use sibyl_nn::softmax;
+
+/// The categorical value head shared by the training and inference
+/// networks.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_core::Categorical;
+/// let c = Categorical::new(2, 11, 0.0, 10.0);
+/// assert_eq!(c.n_outputs(), 22);
+/// // Uniform logits -> Q equals the support's mean for both actions.
+/// let logits = vec![0.0; 22];
+/// let q = c.q_values(&logits);
+/// assert!((q[0] - 5.0).abs() < 1e-4);
+/// assert!((q[1] - 5.0).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Categorical {
+    n_actions: usize,
+    n_atoms: usize,
+    v_min: f32,
+    v_max: f32,
+    dz: f32,
+    support: Vec<f32>,
+}
+
+impl Categorical {
+    /// Creates a head for `n_actions` actions over `n_atoms` atoms
+    /// spanning `[v_min, v_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_actions == 0`, `n_atoms < 2`, or `v_max <= v_min`.
+    pub fn new(n_actions: usize, n_atoms: usize, v_min: f32, v_max: f32) -> Self {
+        assert!(n_actions > 0, "Categorical: need at least one action");
+        assert!(n_atoms >= 2, "Categorical: need at least two atoms");
+        assert!(v_max > v_min, "Categorical: v_max must exceed v_min");
+        let dz = (v_max - v_min) / (n_atoms - 1) as f32;
+        let support = (0..n_atoms).map(|i| v_min + i as f32 * dz).collect();
+        Categorical {
+            n_actions,
+            n_atoms,
+            v_min,
+            v_max,
+            dz,
+            support,
+        }
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Number of support atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// Total network outputs required (`n_actions × n_atoms`).
+    pub fn n_outputs(&self) -> usize {
+        self.n_actions * self.n_atoms
+    }
+
+    /// The fixed value support.
+    pub fn support(&self) -> &[f32] {
+        &self.support
+    }
+
+    /// Softmax distribution of one action's logit block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits.len() != n_outputs()` or `action` is out of
+    /// range.
+    pub fn action_distribution(&self, logits: &[f32], action: usize) -> Vec<f32> {
+        assert_eq!(logits.len(), self.n_outputs(), "logit length mismatch");
+        assert!(action < self.n_actions, "action out of range");
+        let block = &logits[action * self.n_atoms..(action + 1) * self.n_atoms];
+        let mut p = Vec::new();
+        softmax(block, &mut p);
+        p
+    }
+
+    /// Expected value per action: `Q(s, a) = Σ zᵢ pᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits.len() != n_outputs()`.
+    pub fn q_values(&self, logits: &[f32]) -> Vec<f32> {
+        assert_eq!(logits.len(), self.n_outputs(), "logit length mismatch");
+        let mut scratch = Vec::new();
+        (0..self.n_actions)
+            .map(|a| {
+                let block = &logits[a * self.n_atoms..(a + 1) * self.n_atoms];
+                softmax(block, &mut scratch);
+                scratch.iter().zip(&self.support).map(|(p, z)| p * z).sum()
+            })
+            .collect()
+    }
+
+    /// The greedy action under the current logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits.len() != n_outputs()`.
+    pub fn best_action(&self, logits: &[f32]) -> usize {
+        sibyl_nn::argmax(&self.q_values(logits)).expect("n_actions > 0")
+    }
+
+    /// Projects the Bellman-updated distribution `r + γ·z` (with
+    /// next-state distribution `next_probs`) onto the fixed support —
+    /// the C51 categorical projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next_probs.len() != n_atoms`.
+    pub fn project(&self, reward: f32, gamma: f32, next_probs: &[f32]) -> Vec<f32> {
+        assert_eq!(next_probs.len(), self.n_atoms, "next distribution length mismatch");
+        let mut m = vec![0.0f32; self.n_atoms];
+        for (j, &p) in next_probs.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let tz = (reward + gamma * self.support[j]).clamp(self.v_min, self.v_max);
+            let b = (tz - self.v_min) / self.dz;
+            let l = b.floor();
+            let u = b.ceil();
+            let li = l as usize;
+            let ui = (u as usize).min(self.n_atoms - 1);
+            if li == ui {
+                m[li] += p;
+            } else {
+                m[li] += p * (u - b);
+                m[ui] += p * (b - l);
+            }
+        }
+        m
+    }
+
+    /// Cross-entropy loss and logit gradient for one sample: the target
+    /// distribution applies to `action`'s block; all other blocks get zero
+    /// gradient. Writes the full-width gradient into `grad` and returns
+    /// the loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any length/action mismatch.
+    pub fn loss_grad(&self, logits: &[f32], action: usize, target: &[f32], grad: &mut Vec<f32>) -> f32 {
+        assert_eq!(logits.len(), self.n_outputs(), "logit length mismatch");
+        assert!(action < self.n_actions, "action out of range");
+        assert_eq!(target.len(), self.n_atoms, "target length mismatch");
+        grad.clear();
+        grad.resize(self.n_outputs(), 0.0);
+        let block = &logits[action * self.n_atoms..(action + 1) * self.n_atoms];
+        let mut block_grad = Vec::new();
+        sibyl_nn::loss::cross_entropy_logits_grad(block, target, &mut block_grad);
+        grad[action * self.n_atoms..(action + 1) * self.n_atoms].copy_from_slice(&block_grad);
+        sibyl_nn::loss::cross_entropy_logits(block, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn head() -> Categorical {
+        Categorical::new(2, 11, 0.0, 10.0)
+    }
+
+    #[test]
+    fn support_spans_range_evenly() {
+        let c = head();
+        assert_eq!(c.support().len(), 11);
+        assert_eq!(c.support()[0], 0.0);
+        assert_eq!(c.support()[10], 10.0);
+        assert!((c.support()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn q_value_of_point_mass() {
+        let c = head();
+        // Action 0: all mass at atom 7 (value 7.0); action 1 uniform.
+        let mut logits = vec![0.0f32; 22];
+        logits[7] = 50.0;
+        let q = c.q_values(&logits);
+        assert!((q[0] - 7.0).abs() < 1e-3);
+        assert!((q[1] - 5.0).abs() < 1e-3);
+        assert_eq!(c.best_action(&logits), 0);
+    }
+
+    #[test]
+    fn projection_of_zero_reward_identity() {
+        // γ = 1, r = 0 maps the support onto itself exactly.
+        let c = head();
+        let probs: Vec<f32> = (0..11).map(|i| if i == 4 { 1.0 } else { 0.0 }).collect();
+        let m = c.project(0.0, 1.0, &probs);
+        assert!((m[4] - 1.0).abs() < 1e-6, "{m:?}");
+    }
+
+    #[test]
+    fn projection_shifts_by_reward() {
+        let c = head();
+        let probs: Vec<f32> = (0..11).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        // r = 3: atom 0 (value 0) maps to value 3 → atom 3.
+        let m = c.project(3.0, 1.0, &probs);
+        assert!((m[3] - 1.0).abs() < 1e-6, "{m:?}");
+    }
+
+    #[test]
+    fn projection_splits_between_atoms() {
+        let c = head();
+        let probs: Vec<f32> = (0..11).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        // r = 2.5 lands halfway between atoms 2 and 3.
+        let m = c.project(2.5, 1.0, &probs);
+        assert!((m[2] - 0.5).abs() < 1e-6);
+        assert!((m[3] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn projection_clamps_at_bounds() {
+        let c = head();
+        let probs: Vec<f32> = (0..11).map(|i| if i == 10 { 1.0 } else { 0.0 }).collect();
+        // r = 100 would exceed v_max; clamps onto the top atom.
+        let m = c.project(100.0, 1.0, &probs);
+        assert!((m[10] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_grad_touches_only_chosen_action() {
+        let c = head();
+        let logits = vec![0.1f32; 22];
+        let target: Vec<f32> = (0..11).map(|i| if i == 2 { 1.0 } else { 0.0 }).collect();
+        let mut grad = Vec::new();
+        let loss = c.loss_grad(&logits, 1, &target, &mut grad);
+        assert!(loss > 0.0);
+        assert!(grad[..11].iter().all(|&g| g == 0.0), "action 0 block untouched");
+        assert!(grad[11..].iter().any(|&g| g != 0.0), "action 1 block has gradient");
+    }
+
+    proptest! {
+        /// Projection preserves probability mass.
+        #[test]
+        fn projection_preserves_mass(
+            reward in -5.0f32..15.0,
+            gamma in 0.0f32..1.0,
+            raw in proptest::collection::vec(0.01f32..1.0, 11),
+        ) {
+            let c = head();
+            let s: f32 = raw.iter().sum();
+            let probs: Vec<f32> = raw.iter().map(|x| x / s).collect();
+            let m = c.project(reward, gamma, &probs);
+            let total: f32 = m.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4, "mass {total}");
+            prop_assert!(m.iter().all(|&p| p >= -1e-6));
+        }
+
+        /// Q-values always lie within the support range.
+        #[test]
+        fn q_values_bounded(logits in proptest::collection::vec(-5.0f32..5.0, 22)) {
+            let c = head();
+            for q in c.q_values(&logits) {
+                prop_assert!((0.0..=10.0).contains(&q));
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The training-side machinery shared by synchronous and background
+//! modes: value head (C51 or plain DQN), training network, target
+//! network, and the batched update step of Algorithm 1 (lines 16–19).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sibyl_nn::{Activation, Adam, Mlp, Optimizer, Sgd};
+
+use crate::buffer::{Experience, ExperienceBuffer};
+use crate::c51::Categorical;
+use crate::config::{AgentKind, OptimizerKind, SibylConfig};
+
+/// The value-learning head: distributional (C51) or expectation (DQN).
+#[derive(Debug, Clone)]
+pub(crate) enum ValueHead {
+    C51(Categorical),
+    Dqn { n_actions: usize },
+}
+
+impl ValueHead {
+    pub(crate) fn new(config: &SibylConfig, n_actions: usize) -> Self {
+        match config.agent_kind {
+            AgentKind::C51 => {
+                ValueHead::C51(Categorical::new(n_actions, config.n_atoms, config.v_min, config.v_max))
+            }
+            AgentKind::Dqn => ValueHead::Dqn { n_actions },
+        }
+    }
+
+    /// Network outputs this head requires.
+    pub(crate) fn n_outputs(&self) -> usize {
+        match self {
+            ValueHead::C51(c) => c.n_outputs(),
+            ValueHead::Dqn { n_actions } => *n_actions,
+        }
+    }
+
+    /// Per-action Q-values from raw network outputs.
+    pub(crate) fn q_values(&self, logits: &[f32]) -> Vec<f32> {
+        match self {
+            ValueHead::C51(c) => c.q_values(logits),
+            ValueHead::Dqn { .. } => logits.to_vec(),
+        }
+    }
+
+    /// Greedy action.
+    pub(crate) fn best_action(&self, logits: &[f32]) -> usize {
+        sibyl_nn::argmax(&self.q_values(logits)).expect("at least one action")
+    }
+
+    /// Loss and output-gradient for one replayed transition.
+    ///
+    /// `logits` are the training network's outputs for `obs`;
+    /// `next_logits` the *target* (inference) network's outputs for
+    /// `next_obs`.
+    pub(crate) fn sample_grad(
+        &self,
+        logits: &[f32],
+        action: usize,
+        reward: f32,
+        next_logits: &[f32],
+        gamma: f32,
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        match self {
+            ValueHead::C51(c) => {
+                let next_best = c.best_action(next_logits);
+                let next_probs = c.action_distribution(next_logits, next_best);
+                let target = c.project(reward, gamma, &next_probs);
+                c.loss_grad(logits, action, &target, grad)
+            }
+            ValueHead::Dqn { n_actions } => {
+                let max_next = next_logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let y = reward + gamma * max_next;
+                grad.clear();
+                grad.resize(*n_actions, 0.0);
+                let err = logits[action] - y;
+                grad[action] = 2.0 * err;
+                err * err
+            }
+        }
+    }
+}
+
+/// Owns the training network, the bootstrap target network, the replay
+/// buffer, and the optimizer; executes training steps.
+#[derive(Debug)]
+pub(crate) struct Learner {
+    head: ValueHead,
+    train_net: Mlp,
+    /// Bootstrap target — kept in lockstep with the published inference
+    /// weights (the paper's inference network doubles as the stable
+    /// target between syncs).
+    target_net: Mlp,
+    opt: Box<dyn Optimizer + Send>,
+    pub(crate) buffer: ExperienceBuffer,
+    rng: StdRng,
+    discount: f32,
+    batch_size: usize,
+    batches_per_step: usize,
+    pub(crate) train_steps: u64,
+}
+
+impl Learner {
+    pub(crate) fn new(config: &SibylConfig, n_actions: usize, obs_len: usize) -> Self {
+        let head = ValueHead::new(config, n_actions);
+        let dims = [
+            obs_len,
+            config.hidden_dims[0],
+            config.hidden_dims[1],
+            head.n_outputs(),
+        ];
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7EA1);
+        let train_net = Mlp::new(&dims, Activation::Swish, Activation::Linear, &mut rng);
+        let mut target_net = Mlp::new(&dims, Activation::Swish, Activation::Linear, &mut rng);
+        target_net.copy_weights_from(&train_net);
+        let opt: Box<dyn Optimizer + Send> = match config.optimizer {
+            OptimizerKind::Adam => Box::new(Adam::new(config.learning_rate)),
+            OptimizerKind::Sgd => Box::new(Sgd::new(config.learning_rate)),
+        };
+        Learner {
+            head,
+            train_net,
+            target_net,
+            opt,
+            buffer: ExperienceBuffer::new(config.buffer_capacity),
+            rng: StdRng::seed_from_u64(config.seed ^ 0x5A3B),
+            discount: config.discount,
+            batch_size: config.batch_size,
+            batches_per_step: config.batches_per_step,
+            train_steps: 0,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn head(&self) -> &ValueHead {
+        &self.head
+    }
+
+    /// Stores one transition.
+    pub(crate) fn push(&mut self, exp: Experience) {
+        self.buffer.push(exp);
+    }
+
+    /// One training step: `batches_per_step` batches of `batch_size`
+    /// replayed transitions, SGD with mean gradients, then a target-net
+    /// refresh. Returns the mean loss, or `None` when the buffer is
+    /// empty.
+    pub(crate) fn train_step(&mut self) -> Option<f32> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let mut total_loss = 0.0f32;
+        let mut total_samples = 0usize;
+        let mut grad = Vec::new();
+        for _ in 0..self.batches_per_step {
+            // Collect owned samples so the buffer borrow ends before the
+            // mutable network passes.
+            let samples: Vec<Experience> = self
+                .buffer
+                .sample(self.batch_size, &mut self.rng)
+                .into_iter()
+                .cloned()
+                .collect();
+            self.train_net.zero_grad();
+            for exp in &samples {
+                let next_logits = self.target_net.infer(&exp.next_obs);
+                let logits = self.train_net.forward(&exp.obs);
+                let loss = self.head.sample_grad(
+                    &logits,
+                    exp.action,
+                    exp.reward,
+                    &next_logits,
+                    self.discount,
+                    &mut grad,
+                );
+                total_loss += loss;
+                total_samples += 1;
+                self.train_net.backward(&grad);
+            }
+            self.train_net
+                .apply_grads(&mut *self.opt, 1.0 / samples.len().max(1) as f32);
+        }
+        // Refresh the bootstrap target to the just-trained weights; the
+        // agent copies the same weights into its inference network
+        // (Algorithm 1 line 19).
+        self.target_net.copy_weights_from(&self.train_net);
+        self.train_steps += 1;
+        Some(total_loss / total_samples.max(1) as f32)
+    }
+
+    /// A snapshot of the current training weights for publication to the
+    /// inference network.
+    pub(crate) fn weights_snapshot(&self) -> Mlp {
+        self.train_net.clone()
+    }
+
+    /// Changes the learning rate online (Sibyl_Opt retuning, §8.3).
+    pub(crate) fn set_learning_rate(&mut self, lr: f32) {
+        self.opt.set_learning_rate(lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SibylConfig {
+        SibylConfig {
+            batch_size: 16,
+            batches_per_step: 2,
+            buffer_capacity: 64,
+            learning_rate: 0.01,
+            n_atoms: 11,
+            ..Default::default()
+        }
+    }
+
+    fn exp(obs: f32, action: usize, reward: f32) -> Experience {
+        Experience {
+            obs: vec![obs; 6],
+            action,
+            reward,
+            next_obs: vec![obs; 6],
+        }
+    }
+
+    #[test]
+    fn head_output_counts() {
+        let c = config();
+        assert_eq!(ValueHead::new(&c, 2).n_outputs(), 22);
+        let d = SibylConfig {
+            agent_kind: AgentKind::Dqn,
+            ..config()
+        };
+        assert_eq!(ValueHead::new(&d, 2).n_outputs(), 2);
+        assert_eq!(ValueHead::new(&d, 3).n_outputs(), 3);
+    }
+
+    #[test]
+    fn dqn_grad_targets_bellman_value() {
+        let head = ValueHead::Dqn { n_actions: 2 };
+        let mut grad = Vec::new();
+        // Q(s, a0) = 1.0; best next Q = 2.0; r = 0.5; γ = 0.5 → y = 1.5.
+        let loss = head.sample_grad(&[1.0, 0.0], 0, 0.5, &[2.0, 1.0], 0.5, &mut grad);
+        assert!((loss - 0.25).abs() < 1e-6); // (1.0 - 1.5)²
+        assert!((grad[0] + 1.0).abs() < 1e-6); // 2(q - y) = -1
+        assert_eq!(grad[1], 0.0);
+    }
+
+    #[test]
+    fn training_learns_action_preference() {
+        // Action 1 always earns reward 1, action 0 earns 0. After
+        // training, Q(s, 1) should dominate for the C51 head.
+        let cfg = SibylConfig {
+            learning_rate: 0.05,
+            ..config()
+        };
+        let mut l = Learner::new(&cfg, 2, 6);
+        for i in 0..64 {
+            let a = i % 2;
+            l.push(exp(0.5 + (i as f32) * 1e-4, a, a as f32));
+        }
+        for _ in 0..200 {
+            l.train_step().expect("buffer non-empty");
+        }
+        let logits = l.weights_snapshot().infer(&vec![0.5; 6]);
+        let q = l.head().q_values(&logits);
+        assert!(
+            q[1] > q[0] + 0.3,
+            "Q should prefer rewarded action: {q:?}"
+        );
+    }
+
+    #[test]
+    fn dqn_training_learns_action_preference() {
+        let cfg = SibylConfig {
+            agent_kind: AgentKind::Dqn,
+            learning_rate: 0.005,
+            ..config()
+        };
+        let mut l = Learner::new(&cfg, 2, 6);
+        for i in 0..64 {
+            let a = i % 2;
+            l.push(exp(0.5 + (i as f32) * 1e-4, a, a as f32));
+        }
+        for _ in 0..80 {
+            l.train_step();
+        }
+        let logits = l.weights_snapshot().infer(&vec![0.5; 6]);
+        let q = l.head().q_values(&logits);
+        assert!(q[1] > q[0], "DQN should prefer rewarded action: {q:?}");
+    }
+
+    #[test]
+    fn empty_buffer_skips_training() {
+        let mut l = Learner::new(&config(), 2, 6);
+        assert!(l.train_step().is_none());
+        assert_eq!(l.train_steps, 0);
+    }
+
+    #[test]
+    fn training_reduces_loss_over_steps() {
+        let cfg = config();
+        let mut l = Learner::new(&cfg, 2, 6);
+        for i in 0..64 {
+            l.push(exp(i as f32 / 64.0, i % 2, (i % 2) as f32));
+        }
+        let first = l.train_step().unwrap();
+        let mut last = first;
+        for _ in 0..40 {
+            last = l.train_step().unwrap();
+        }
+        assert!(last < first, "loss should fall: {first} -> {last}");
+    }
+}

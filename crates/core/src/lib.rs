@@ -1,0 +1,69 @@
+//! # sibyl-core
+//!
+//! Sibyl: adaptive and extensible data placement in hybrid storage
+//! systems using online reinforcement learning — the paper's primary
+//! contribution (Singh et al., ISCA 2022).
+//!
+//! The agent formulates data placement as an RL problem (§5):
+//!
+//! - **State** ([`features`]): six binned features per request — request
+//!   size, type, access interval, access count, remaining fast capacity,
+//!   and current placement (Table 1) — packed into 40 bits and normalized
+//!   for the network.
+//! - **Action**: the device to place the request's pages on; extending to
+//!   `N ≥ 3` devices adds outputs and capacity features (§8.7).
+//! - **Reward** ([`reward`]): `1/L_t`, penalized by `0.001·L_e` on
+//!   eviction (Eq. 1), scaled to a stable support range.
+//! - **Learning** ([`Categorical`], [`learner`]): a C51 categorical DQN
+//!   over a 6-20-30-|A| swish network, trained from a 1000-entry
+//!   deduplicated [`ExperienceBuffer`] — 8 batches of 128 every 1000
+//!   requests, with training→inference weight copies (Algorithm 1).
+//! - **Two-thread design** ([`SibylAgent`] with
+//!   [`TrainingMode::Background`]): training runs on a background thread
+//!   and never blocks placement decisions (Fig. 7(a)).
+//!
+//! [`SibylAgent`] implements [`sibyl_hss::PlacementPolicy`], so it drops
+//! into the same driver loop as every baseline.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use sibyl_core::{SibylAgent, SibylConfig};
+//! use sibyl_hss::{DeviceSpec, HssConfig, PlacementContext, PlacementPolicy, StorageManager};
+//! use sibyl_trace::{IoOp, IoRequest};
+//!
+//! let cfg = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd())
+//!     .with_capacity_pages(vec![64, u64::MAX]);
+//! let mut hss = StorageManager::new(&cfg);
+//! let mut sibyl = SibylAgent::new(SibylConfig::default());
+//!
+//! let req = IoRequest::new(0, 42, 4, IoOp::Write);
+//! let target = {
+//!     let ctx = PlacementContext { manager: &hss, seq: 0 };
+//!     sibyl.place(&req, &ctx)
+//! };
+//! let outcome = hss.access(&req, target);
+//! let ctx = PlacementContext { manager: &hss, seq: 0 };
+//! sibyl.feedback(&req, &outcome, &ctx);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod agent;
+mod buffer;
+mod c51;
+mod config;
+pub mod features;
+mod learner;
+pub mod overhead;
+mod reward;
+mod trainer;
+
+pub use agent::{AgentStats, SibylAgent};
+pub use buffer::{Experience, ExperienceBuffer};
+pub use c51::Categorical;
+pub use config::{AgentKind, OptimizerKind, RewardKind, SibylConfig, TrainingMode};
+pub use features::{FeatureMask, Observation, StateEncoder};
+pub use overhead::OverheadReport;
+pub use reward::RewardShaper;

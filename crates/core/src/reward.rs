@@ -1,0 +1,182 @@
+//! Sibyl's reward structure (Eq. 1) and the §11 alternatives.
+//!
+//! After each placement the agent receives
+//!
+//! ```text
+//! R = 1 / L_t                      if no eviction occurred
+//! R = max(0, 1/L_t − 0.001·L_e)    if the placement forced an eviction
+//! ```
+//!
+//! where `L_t` is the served request latency and `L_e` the time spent
+//! evicting. The reward is scaled by the fast device's minimum service
+//! time so the best achievable per-step reward is ≈ 1 regardless of the
+//! device configuration, which pins the C51 value support to a stable
+//! range (`[0, v_max]` with `v_max = 1/(1−γ)` at γ = 0.9).
+
+use serde::{Deserialize, Serialize};
+
+use sibyl_hss::AccessOutcome;
+
+use crate::config::RewardKind;
+
+/// Computes scaled rewards from access outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardShaper {
+    kind: RewardKind,
+    /// Eq. 1's penalty coefficient (0.001 in the paper).
+    penalty_coeff: f64,
+    /// Scale factor: the fast device's minimum 1-page read service time
+    /// in µs, making `scale / L_t ≤ ~1`.
+    scale_us: f64,
+    /// Clamp penalized rewards at zero (the paper's exact Eq. 1) instead
+    /// of letting them go negative (our default; see
+    /// `SibylConfig::clamp_eviction_reward`).
+    clamp: bool,
+    /// Floor for unclamped penalized rewards (the C51 support's v_min).
+    floor: f64,
+}
+
+impl RewardShaper {
+    /// Creates a shaper. `scale_us` should be the fastest device's
+    /// minimum service time (`DeviceSpec::min_read_service_us`).
+    /// `clamp` selects the paper-exact `max(0, ·)` eviction branch;
+    /// `floor` bounds unclamped penalties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale_us` is not positive or `penalty_coeff` is
+    /// negative.
+    pub fn new(kind: RewardKind, penalty_coeff: f64, scale_us: f64, clamp: bool, floor: f64) -> Self {
+        assert!(scale_us > 0.0, "RewardShaper: scale must be positive");
+        assert!(penalty_coeff >= 0.0, "RewardShaper: penalty must be non-negative");
+        RewardShaper {
+            kind,
+            penalty_coeff,
+            scale_us,
+            clamp,
+            floor: floor.min(0.0),
+        }
+    }
+
+    /// The reward for one request outcome.
+    pub fn reward(&self, outcome: &AccessOutcome) -> f32 {
+        match self.kind {
+            RewardKind::RequestLatency => {
+                // Eq. 1, scaled by `scale_us` (positive scaling preserves
+                // the max(0, ·) semantics).
+                let base = self.scale_us / outcome.latency_us.max(1e-3);
+                if outcome.caused_eviction() {
+                    let penalty = self.penalty_coeff * outcome.eviction_us * self.scale_us;
+                    let lower = if self.clamp { 0.0 } else { self.floor };
+                    (base - penalty).max(lower) as f32
+                } else {
+                    base.min(1.5) as f32
+                }
+            }
+            RewardKind::HitRate => {
+                // §11: reward fast-device hits; blind to latency asymmetry
+                // and eviction cost.
+                if outcome.target.0 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            RewardKind::EvictionOnly => {
+                // §11: punish evictions only; blind to service latency.
+                if outcome.caused_eviction() {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_hss::DeviceId;
+
+    fn outcome(latency_us: f64, eviction_us: f64, evicted: u64, target: usize) -> AccessOutcome {
+        AccessOutcome {
+            target: DeviceId(target),
+            arrival_us: 0.0,
+            completion_us: latency_us,
+            latency_us,
+            eviction_us,
+            evicted_pages: evicted,
+            migrated_pages: 0,
+        }
+    }
+
+    fn shaper() -> RewardShaper {
+        RewardShaper::new(RewardKind::RequestLatency, 0.001, 10.0, true, -1.0)
+    }
+
+    #[test]
+    fn fast_service_earns_high_reward() {
+        let r_fast = shaper().reward(&outcome(10.0, 0.0, 0, 0));
+        let r_slow = shaper().reward(&outcome(10_000.0, 0.0, 0, 1));
+        assert!(r_fast > 0.9);
+        assert!(r_slow < 0.01);
+        assert!(r_fast > 100.0 * r_slow);
+    }
+
+    #[test]
+    fn eviction_penalty_zeroes_large_evictions() {
+        // Serving fast but evicting for 1 ms: penalty 0.001·1000·10 = 10 ≫ 1.
+        let r = shaper().reward(&outcome(10.0, 1_000.0, 8, 0));
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn tiny_evictions_keep_some_reward() {
+        // Penalty 0.001·20·10 = 0.2 < base 1.0.
+        let r = shaper().reward(&outcome(10.0, 20.0, 1, 0));
+        assert!(r > 0.5 && r < 1.0, "r = {r}");
+    }
+
+    #[test]
+    fn reward_never_negative_for_latency_kind() {
+        for le in [0.0, 10.0, 1e5] {
+            let evicted = u64::from(le > 0.0);
+            let r = shaper().reward(&outcome(50.0, le, evicted, 0));
+            assert!(r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hit_rate_kind_ignores_latency() {
+        let s = RewardShaper::new(RewardKind::HitRate, 0.001, 10.0, true, -1.0);
+        assert_eq!(s.reward(&outcome(1e6, 0.0, 0, 0)), 1.0);
+        assert_eq!(s.reward(&outcome(1.0, 0.0, 0, 1)), 0.0);
+    }
+
+    #[test]
+    fn eviction_only_kind_is_negative_on_eviction() {
+        let s = RewardShaper::new(RewardKind::EvictionOnly, 0.001, 10.0, true, -1.0);
+        assert_eq!(s.reward(&outcome(10.0, 100.0, 4, 0)), -1.0);
+        assert_eq!(s.reward(&outcome(10.0, 0.0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_bad_scale() {
+        let _ = RewardShaper::new(RewardKind::RequestLatency, 0.001, 0.0, true, -1.0);
+    }
+
+    #[test]
+    fn unclamped_penalty_goes_negative_but_respects_floor() {
+        let s = RewardShaper::new(RewardKind::RequestLatency, 0.001, 10.0, false, -1.0);
+        // Penalty 0.001·500·10 = 5 ≫ base 1: unclamped lands at the floor.
+        let r = s.reward(&outcome(10.0, 500.0, 8, 0));
+        assert_eq!(r, -1.0);
+        // Moderate eviction: slightly negative, not floored.
+        let r2 = s.reward(&outcome(10.0, 150.0, 2, 0));
+        assert!(r2 < 0.0 && r2 > -1.0, "r2 = {r2}");
+        // Non-evicting rewards are unchanged.
+        assert!(s.reward(&outcome(10.0, 0.0, 0, 0)) > 0.9);
+    }
+}

@@ -1,0 +1,182 @@
+//! The background training thread — the paper's two-threaded design
+//! (Fig. 7(a)).
+//!
+//! The *RL decision thread* (the agent inside the storage manager's
+//! request path) sends experiences over a channel 7 and keeps serving
+//! placements from its inference network 2 . The *RL training thread*
+//! consumes experiences 8 , runs training steps 9 , and publishes the
+//! updated weights, which the decision thread copies into the inference
+//! network 10 — so training never blocks decision-making.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use sibyl_nn::Mlp;
+
+use crate::buffer::Experience;
+use crate::config::SibylConfig;
+use crate::learner::Learner;
+
+/// Weights published by the trainer for the decision thread to adopt.
+#[derive(Debug)]
+pub(crate) struct Published {
+    /// Increments at every publication; the decision thread copies only
+    /// when it observes a new generation.
+    pub generation: u64,
+    pub weights: Mlp,
+    pub train_steps: u64,
+}
+
+/// Handle owned by the agent's decision side.
+#[derive(Debug)]
+pub(crate) struct BackgroundTrainer {
+    tx: Option<Sender<Experience>>,
+    pub(crate) published: Arc<Mutex<Published>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BackgroundTrainer {
+    /// Spawns the training thread.
+    pub(crate) fn spawn(config: &SibylConfig, n_actions: usize, obs_len: usize) -> Self {
+        let mut learner = Learner::new(config, n_actions, obs_len);
+        let published = Arc::new(Mutex::new(Published {
+            generation: 0,
+            weights: learner.weights_snapshot(),
+            train_steps: 0,
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = bounded::<Experience>(4 * config.train_interval as usize);
+
+        let published_thread = Arc::clone(&published);
+        let stop_thread = Arc::clone(&stop);
+        let train_interval = config.train_interval;
+        let handle = std::thread::Builder::new()
+            .name("sibyl-training".to_string())
+            .spawn(move || {
+                let mut received: u64 = 0;
+                let mut next_train_at = train_interval;
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(exp) => {
+                            learner.push(exp);
+                            received += 1;
+                            if received >= next_train_at {
+                                next_train_at += train_interval;
+                                if learner.train_step().is_some() {
+                                    let mut p = published_thread.lock();
+                                    p.weights.copy_weights_from(&learner.weights_snapshot());
+                                    p.generation += 1;
+                                    p.train_steps = learner.train_steps;
+                                }
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            if stop_thread.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            })
+            .expect("failed to spawn sibyl training thread");
+
+        BackgroundTrainer {
+            tx: Some(tx),
+            published,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Sends one experience to the trainer (drops it if the channel is
+    /// full — decision-making must never block on training).
+    pub(crate) fn send(&self, exp: Experience) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.try_send(exp);
+        }
+    }
+
+    /// Stops and joins the training thread.
+    pub(crate) fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.tx = None; // disconnects the channel
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BackgroundTrainer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SibylConfig {
+        SibylConfig {
+            train_interval: 32,
+            buffer_capacity: 64,
+            batch_size: 8,
+            batches_per_step: 1,
+            n_atoms: 5,
+            ..Default::default()
+        }
+    }
+
+    fn exp(tag: f32) -> Experience {
+        Experience {
+            obs: vec![tag; 6],
+            action: (tag as usize) % 2,
+            reward: tag.fract(),
+            next_obs: vec![tag + 0.5; 6],
+        }
+    }
+
+    #[test]
+    fn trainer_publishes_new_generations() {
+        let mut t = BackgroundTrainer::spawn(&tiny_config(), 2, 6);
+        for i in 0..256 {
+            t.send(exp(i as f32 * 0.01));
+        }
+        // Wait for at least one publication.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let p = t.published.lock();
+                if p.generation > 0 {
+                    assert!(p.train_steps > 0);
+                    break;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "trainer never published");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        t.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_nonblocking() {
+        let mut t = BackgroundTrainer::spawn(&tiny_config(), 2, 6);
+        t.send(exp(0.1));
+        t.shutdown();
+        t.shutdown(); // second call is a no-op
+    }
+
+    #[test]
+    fn drop_joins_thread() {
+        let t = BackgroundTrainer::spawn(&tiny_config(), 2, 6);
+        t.send(exp(0.2));
+        drop(t); // must not hang or panic
+    }
+}

@@ -1,0 +1,200 @@
+//! System-level statistics collected by the storage manager.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed log-scale latency histogram (µs), 1 µs to ~100 s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket `i` counts latencies in `[2^i, 2^(i+1))` µs.
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 28],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample in microseconds.
+    pub fn record(&mut self, latency_us: f64) {
+        let us = latency_us.max(0.0);
+        let idx = if us < 1.0 {
+            0
+        } else {
+            (us.log2() as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate latency percentile (0..100) in microseconds, using the
+    /// upper edge of the bucket containing the quantile. Returns 0 for an
+    /// empty histogram.
+    pub fn percentile_us(&self, pct: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (pct.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return 2f64.powi(i as i32 + 1);
+            }
+        }
+        2f64.powi(self.buckets.len() as i32)
+    }
+}
+
+/// Aggregate statistics for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HssStats {
+    /// Requests served.
+    pub total_requests: u64,
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Sum of per-request latencies (µs).
+    pub sum_latency_us: f64,
+    /// Largest single-request latency (µs).
+    pub max_latency_us: f64,
+    /// First request arrival time (µs).
+    pub first_arrival_us: f64,
+    /// Last request completion time (µs).
+    pub last_completion_us: f64,
+    /// Background eviction events (fast → slower migrations forced by
+    /// capacity).
+    pub eviction_events: u64,
+    /// Pages evicted.
+    pub evicted_pages: u64,
+    /// Time spent evicting (µs), the paper's `L_e`.
+    pub eviction_time_us: f64,
+    /// Pages promoted/migrated toward the policy's chosen target.
+    pub migrated_pages: u64,
+    /// Per-device count of requests the policy targeted at that device
+    /// (numerators of the paper's Fig. 17 fast-placement preference).
+    pub placements: Vec<u64>,
+    /// Latency distribution.
+    pub histogram: LatencyHistogram,
+}
+
+impl HssStats {
+    /// Creates zeroed stats for `n_devices` devices.
+    pub fn new(n_devices: usize) -> Self {
+        HssStats {
+            placements: vec![0; n_devices],
+            ..Default::default()
+        }
+    }
+
+    /// Average request latency in microseconds (the paper's primary
+    /// metric).
+    pub fn avg_latency_us(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.sum_latency_us / self.total_requests as f64
+        }
+    }
+
+    /// Request throughput in I/O operations per second (the paper's
+    /// second metric, Fig. 10).
+    pub fn iops(&self) -> f64 {
+        let span = self.last_completion_us - self.first_arrival_us;
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.total_requests as f64 / span * 1e6
+        }
+    }
+
+    /// Evictions as a fraction of all requests (Fig. 18's y-axis).
+    pub fn eviction_fraction(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.eviction_events as f64 / self.total_requests as f64
+        }
+    }
+
+    /// Fraction of requests the policy placed on `device`
+    /// (Fig. 17: preference for the fast device is `placement_fraction(0)`).
+    pub fn placement_fraction(&self, device: usize) -> f64 {
+        let total: u64 = self.placements.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.placements.get(device).copied().unwrap_or(0) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_latency_divides_by_requests() {
+        let mut s = HssStats::new(2);
+        s.total_requests = 4;
+        s.sum_latency_us = 100.0;
+        assert!((s.avg_latency_us() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = HssStats::new(2);
+        assert_eq!(s.avg_latency_us(), 0.0);
+        assert_eq!(s.iops(), 0.0);
+        assert_eq!(s.eviction_fraction(), 0.0);
+        assert_eq!(s.placement_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn iops_uses_wall_span() {
+        let mut s = HssStats::new(1);
+        s.total_requests = 1_000;
+        s.first_arrival_us = 0.0;
+        s.last_completion_us = 1e6; // one second
+        assert!((s.iops() - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn placement_fraction_normalizes() {
+        let mut s = HssStats::new(2);
+        s.placements = vec![30, 10];
+        assert!((s.placement_fraction(0) - 0.75).abs() < 1e-9);
+        assert!((s.placement_fraction(1) - 0.25).abs() < 1e-9);
+        assert_eq!(s.placement_fraction(7), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_ordered() {
+        let mut h = LatencyHistogram::default();
+        for i in 1..=1000u64 {
+            h.record(i as f64);
+        }
+        let p50 = h.percentile_us(50.0);
+        let p99 = h.percentile_us(99.0);
+        assert!(p50 <= p99);
+        assert!(p99 <= 2048.0);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_us(99.0), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Element-wise activation functions and their derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// An element-wise activation function.
+///
+/// The Sibyl paper uses the swish activation (`x · sigmoid(x)`,
+/// Ramachandran et al.) on all fully-connected layers, noting it
+/// outperforms ReLU for the data-placement task (§6.2.2).
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_nn::Activation;
+/// assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+/// assert!((Activation::Swish.apply(0.0)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity: `f(x) = x`.
+    #[default]
+    Linear,
+    /// Rectified linear unit: `f(x) = max(0, x)`.
+    Relu,
+    /// Swish (a.k.a. SiLU): `f(x) = x · σ(x)`. The paper's choice.
+    Swish,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid: `f(x) = 1 / (1 + e^-x)`.
+    Sigmoid,
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Activation {
+    /// Applies the activation to a single pre-activation value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Swish => x * sigmoid(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => sigmoid(x),
+        }
+    }
+
+    /// Derivative `df/dx` expressed in terms of the pre-activation `x`.
+    #[inline]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Swish => {
+                let s = sigmoid(x);
+                s + x * s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+        }
+    }
+
+    /// Applies the activation in place over a slice of pre-activations.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ALL: [Activation; 5] = [
+        Activation::Linear,
+        Activation::Relu,
+        Activation::Swish,
+        Activation::Tanh,
+        Activation::Sigmoid,
+    ];
+
+    #[test]
+    fn swish_matches_reference_points() {
+        // swish(1) = 1 * sigmoid(1) ≈ 0.731058
+        assert!((Activation::Swish.apply(1.0) - 0.731_058).abs() < 1e-4);
+        // swish is slightly negative for small negative inputs
+        assert!(Activation::Swish.apply(-1.0) < 0.0);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-5.0), 0.0);
+        assert_eq!(Activation::Relu.apply(5.0), 5.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut v = [-1.0f32, 0.0, 2.5];
+        Activation::Tanh.apply_slice(&mut v);
+        assert_eq!(v[1], 0.0);
+        assert!((v[2] - 2.5f32.tanh()).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// Every activation's analytic derivative matches a central finite
+        /// difference (away from the ReLU kink).
+        #[test]
+        fn derivatives_match_finite_differences(x in -4.0f32..4.0) {
+            let h = 1e-3f32;
+            for act in ALL {
+                if act == Activation::Relu && x.abs() < 2.0 * h {
+                    continue; // non-differentiable at 0
+                }
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative(x);
+                prop_assert!(
+                    (numeric - analytic).abs() < 5e-3,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+
+        /// Sigmoid output is a probability; swish is bounded below.
+        #[test]
+        fn ranges_hold(x in -50.0f32..50.0) {
+            let s = Activation::Sigmoid.apply(x);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!(Activation::Swish.apply(x) >= -0.2785);
+        }
+    }
+}

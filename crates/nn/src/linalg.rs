@@ -1,0 +1,206 @@
+//! Small dense linear-algebra helpers shared by the layer implementations.
+//!
+//! The networks in this workspace are tiny (hundreds of weights), so the
+//! kernels below favour clarity over blocking/SIMD tricks; they are still
+//! easily fast enough to meet the paper's inference budget (§10.1 counts
+//! 780 multiply-accumulates per decision).
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Computes `out = W·x + b` where `w` is a row-major `(rows × cols)` matrix.
+///
+/// `out` is cleared and refilled with `rows` values.
+///
+/// # Panics
+///
+/// Panics if `w.len() != rows * cols` or `x.len() != cols` or
+/// `b.len() != rows`.
+pub fn matvec_bias(w: &[f32], b: &[f32], x: &[f32], rows: usize, cols: usize, out: &mut Vec<f32>) {
+    assert_eq!(w.len(), rows * cols, "matvec_bias: weight shape mismatch");
+    assert_eq!(x.len(), cols, "matvec_bias: input length mismatch");
+    assert_eq!(b.len(), rows, "matvec_bias: bias length mismatch");
+    out.clear();
+    out.reserve(rows);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        out.push(dot(row, x) + b[r]);
+    }
+}
+
+/// Computes `out = Wᵀ·d` where `w` is row-major `(rows × cols)`:
+/// the gradient w.r.t. the layer input during backpropagation.
+///
+/// `out` is cleared and refilled with `cols` values.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn matvec_transpose(w: &[f32], d: &[f32], rows: usize, cols: usize, out: &mut Vec<f32>) {
+    assert_eq!(w.len(), rows * cols, "matvec_transpose: weight shape mismatch");
+    assert_eq!(d.len(), rows, "matvec_transpose: delta length mismatch");
+    out.clear();
+    out.resize(cols, 0.0);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let dr = d[r];
+        for (o, &wv) in out.iter_mut().zip(row) {
+            *o += wv * dr;
+        }
+    }
+}
+
+/// Accumulates the outer product `dw += d ⊗ x` into a row-major
+/// `(rows × cols)` gradient buffer.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn outer_acc(dw: &mut [f32], d: &[f32], x: &[f32]) {
+    let rows = d.len();
+    let cols = x.len();
+    assert_eq!(dw.len(), rows * cols, "outer_acc: gradient shape mismatch");
+    for r in 0..rows {
+        let dr = d[r];
+        let row = &mut dw[r * cols..(r + 1) * cols];
+        for (w, &xv) in row.iter_mut().zip(x) {
+            *w += dr * xv;
+        }
+    }
+}
+
+/// Adds `src` element-wise into `dst`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_assign: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Scales every element of `xs` by `k`.
+#[inline]
+pub fn scale(xs: &mut [f32], k: f32) {
+    for x in xs {
+        *x *= k;
+    }
+}
+
+/// Euclidean (L2) norm of a slice.
+#[inline]
+pub fn l2_norm(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Clips the global L2 norm of a gradient slice to `max_norm`, returning the
+/// scaling factor applied (1.0 when no clipping occurred).
+///
+/// Gradient clipping keeps the online C51 updates stable when the reward
+/// scale shifts abruptly (e.g. at workload phase changes).
+pub fn clip_l2_norm(xs: &mut [f32], max_norm: f32) -> f32 {
+    let norm = l2_norm(xs);
+    if norm > max_norm && norm > 0.0 {
+        let k = max_norm / norm;
+        scale(xs, k);
+        k
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matvec_bias_identity() {
+        // 2x2 identity times [3, 4] plus bias [1, 1]
+        let w = [1.0, 0.0, 0.0, 1.0];
+        let b = [1.0, 1.0];
+        let mut out = Vec::new();
+        matvec_bias(&w, &b, &[3.0, 4.0], 2, 2, &mut out);
+        assert_eq!(out, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_matches_manual() {
+        // W = [[1, 2], [3, 4]] (rows=2, cols=2); Wᵀ·[1, 1] = [4, 6]
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let mut out = Vec::new();
+        matvec_transpose(&w, &[1.0, 1.0], 2, 2, &mut out);
+        assert_eq!(out, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn outer_acc_accumulates() {
+        let mut dw = vec![0.0; 4];
+        outer_acc(&mut dw, &[1.0, 2.0], &[3.0, 4.0]);
+        outer_acc(&mut dw, &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(dw, vec![6.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut g = vec![0.1, 0.1];
+        let k = clip_l2_norm(&mut g, 10.0);
+        assert_eq!(k, 1.0);
+        assert_eq!(g, vec![0.1, 0.1]);
+    }
+
+    #[test]
+    fn clip_shrinks_large_gradients() {
+        let mut g = vec![30.0, 40.0]; // norm 50
+        clip_l2_norm(&mut g, 5.0);
+        assert!((l2_norm(&g) - 5.0).abs() < 1e-4);
+    }
+
+    proptest! {
+        /// matvec followed by transpose-matvec is consistent with the
+        /// scalar quadratic form dᵀ·W·x computed two ways.
+        #[test]
+        fn quadratic_form_consistency(
+            w in proptest::collection::vec(-2.0f32..2.0, 6),
+            x in proptest::collection::vec(-2.0f32..2.0, 3),
+            d in proptest::collection::vec(-2.0f32..2.0, 2),
+        ) {
+            let b = vec![0.0; 2];
+            let mut wx = Vec::new();
+            matvec_bias(&w, &b, &x, 2, 3, &mut wx);
+            let lhs = dot(&d, &wx);
+            let mut wtd = Vec::new();
+            matvec_transpose(&w, &d, 2, 3, &mut wtd);
+            let rhs = dot(&wtd, &x);
+            prop_assert!((lhs - rhs).abs() < 1e-3);
+        }
+
+        /// Clipping never increases the norm and respects the bound.
+        #[test]
+        fn clip_invariants(mut g in proptest::collection::vec(-10.0f32..10.0, 1..32),
+                           max in 0.1f32..20.0) {
+            let before = l2_norm(&g);
+            clip_l2_norm(&mut g, max);
+            let after = l2_norm(&g);
+            prop_assert!(after <= before + 1e-4);
+            prop_assert!(after <= max + 1e-3);
+        }
+    }
+}

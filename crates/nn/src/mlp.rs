@@ -1,0 +1,301 @@
+//! Multi-layer perceptron assembled from [`Dense`] layers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::optim::Optimizer;
+
+/// A feed-forward network of [`Dense`] layers.
+///
+/// The Sibyl paper's placement network is `Mlp::new(&[6, 20, 30, |A|·atoms],
+/// Activation::Swish, Activation::Linear, rng)`: 6 state features in, two
+/// swish hidden layers of 20 and 30 neurons, and a linear head whose logits
+/// are soft-maxed per action by the C51 agent (Fig. 7(b)).
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_nn::{Activation, Mlp};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let net = Mlp::new(&[6, 20, 30, 2], Activation::Swish, Activation::Linear, &mut rng);
+/// // 6·20 + 20·30 + 30·2 = 780 weights, exactly the paper's §10.1 count.
+/// assert_eq!(net.mac_count(), 780);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes.
+    ///
+    /// `dims` lists the input size followed by each layer's output size;
+    /// hidden layers use `hidden_act` and the final layer uses `out_act`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() < 2` or any dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp: need at least input and output dims");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+            layers.push(Dense::new(dims[i], dims[i + 1], act, rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("Mlp has at least one layer").out_dim()
+    }
+
+    /// The number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Multiply-accumulate operations per forward pass (§10.1 of the paper
+    /// counts 780 for the 6-20-30-2 network).
+    pub fn mac_count(&self) -> usize {
+        self.layers.iter().map(Dense::mac_count).sum()
+    }
+
+    /// Forward pass that caches intermediate state for [`Mlp::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_dim()`.
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Cache-free inference; cheaper and usable through a shared reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_dim()`.
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.infer(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Backward pass from `dL/dy`; accumulates gradients in every layer and
+    /// returns `dL/dx`.
+    ///
+    /// Must follow a [`Mlp::forward`] call.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let mut d = dy.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            d = layer.backward(&d);
+        }
+        d
+    }
+
+    /// Clears accumulated gradients in all layers.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Applies accumulated gradients through `opt`, scaling them by
+    /// `scale` first (use `1.0 / batch_size` for mean-gradient training).
+    /// Accepts `&mut dyn Optimizer` as well as concrete optimizers.
+    pub fn apply_grads<O: Optimizer + ?Sized>(&mut self, opt: &mut O, scale: f32) {
+        let mut param_index = 0;
+        for layer in &mut self.layers {
+            let (w, dw, b, db) = layer.params_and_grads_mut();
+            if scale != 1.0 {
+                crate::linalg::scale(dw, scale);
+                crate::linalg::scale(db, scale);
+            }
+            opt.update(param_index, w, dw);
+            param_index += 1;
+            opt.update(param_index, b, db);
+            param_index += 1;
+        }
+    }
+
+    /// Copies all weights from another network of identical shape.
+    ///
+    /// Used by the paper's two-network design: the training network's
+    /// weights are copied to the inference network every 1000 requests
+    /// (Algorithm 1, line 19).
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer shapes differ.
+    pub fn copy_weights_from(&mut self, other: &Mlp) {
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "copy_weights_from: layer count mismatch"
+        );
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            dst.copy_weights_from(src);
+        }
+    }
+
+    /// Iterates over the layers.
+    pub fn layers(&self) -> impl Iterator<Item = &Dense> {
+        self.layers.iter()
+    }
+
+    /// Flattens all parameters into a single vector (weights then biases,
+    /// layer by layer). Useful for checkpointing and tests.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &self.layers {
+            let (w, b) = layer.params();
+            out.extend_from_slice(w);
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Restores internal buffers after deserialization.
+    pub fn ensure_buffers(&mut self) {
+        for layer in &mut self.layers {
+            layer.ensure_buffers();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn paper_network_has_780_weights() {
+        let net = Mlp::new(&[6, 20, 30, 2], Activation::Swish, Activation::Linear, &mut rng(0));
+        assert_eq!(net.mac_count(), 780);
+        // 780 weights + 52 biases
+        assert_eq!(net.num_params(), 832);
+        assert_eq!(net.in_dim(), 6);
+        assert_eq!(net.out_dim(), 2);
+        assert_eq!(net.num_layers(), 3);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut net = Mlp::new(&[4, 8, 3], Activation::Swish, Activation::Linear, &mut rng(1));
+        let x = [0.2, -0.4, 0.6, 0.8];
+        assert_eq!(net.forward(&x), net.infer(&x));
+    }
+
+    #[test]
+    fn copy_weights_synchronizes_outputs() {
+        let train = Mlp::new(&[4, 8, 2], Activation::Swish, Activation::Linear, &mut rng(2));
+        let mut infer = Mlp::new(&[4, 8, 2], Activation::Swish, Activation::Linear, &mut rng(3));
+        let x = [0.5, 0.5, -0.5, -0.5];
+        assert_ne!(train.infer(&x), infer.infer(&x));
+        infer.copy_weights_from(&train);
+        assert_eq!(train.infer(&x), infer.infer(&x));
+    }
+
+    #[test]
+    fn sgd_training_reduces_loss() {
+        let mut net = Mlp::new(&[2, 16, 1], Activation::Tanh, Activation::Linear, &mut rng(4));
+        let mut opt = Sgd::new(0.05);
+        // Learn XOR-ish continuous function f(a, b) = a * b.
+        let data: Vec<([f32; 2], f32)> = vec![
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 0.0),
+            ([1.0, 0.0], 0.0),
+            ([1.0, 1.0], 1.0),
+            ([0.5, 0.5], 0.25),
+        ];
+        let loss_of = |net: &Mlp| -> f32 {
+            data.iter()
+                .map(|(x, t)| {
+                    let y = net.infer(x)[0];
+                    (y - t) * (y - t)
+                })
+                .sum::<f32>()
+        };
+        let before = loss_of(&net);
+        for _ in 0..400 {
+            net.zero_grad();
+            for (x, t) in &data {
+                let y = net.forward(x);
+                let dl = [2.0 * (y[0] - t)];
+                net.backward(&dl);
+            }
+            net.apply_grads(&mut opt, 1.0 / data.len() as f32);
+        }
+        let after = loss_of(&net);
+        assert!(after < before * 0.2, "loss did not drop: {before} -> {after}");
+    }
+
+    #[test]
+    fn flat_params_length_matches() {
+        let net = Mlp::new(&[3, 5, 2], Activation::Relu, Activation::Linear, &mut rng(5));
+        assert_eq!(net.flat_params().len(), net.num_params());
+    }
+
+    #[test]
+    fn whole_network_gradient_check() {
+        let mut net = Mlp::new(&[3, 6, 4, 2], Activation::Swish, Activation::Linear, &mut rng(6));
+        let x = [0.4, -0.7, 0.2];
+        let y = net.forward(&x);
+        let dy: Vec<f32> = y.iter().map(|v| 2.0 * v).collect();
+        net.zero_grad();
+        let dx = net.backward(&dy);
+
+        let loss = |net: &Mlp, x: &[f32]| -> f32 { net.infer(x).iter().map(|v| v * v).sum() };
+        let h = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let numeric = (loss(&net, &xp) - loss(&net, &xm)) / (2.0 * h);
+            assert!(
+                (numeric - dx[i]).abs() < 2e-2,
+                "input {i}: numeric {numeric} vs analytic {}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least input and output dims")]
+    fn rejects_degenerate_shape() {
+        let _ = Mlp::new(&[4], Activation::Linear, Activation::Linear, &mut rng(7));
+    }
+}

@@ -1,0 +1,231 @@
+//! Gradient-descent optimizers.
+
+use std::collections::HashMap;
+
+/// A first-order optimizer that updates a parameter slice in place from its
+/// gradient slice.
+///
+/// `param_id` identifies the parameter group (e.g. one layer's weight
+/// matrix) so stateful optimizers such as [`Adam`] can keep per-parameter
+/// moment estimates across calls.
+pub trait Optimizer: std::fmt::Debug {
+    /// Applies one update step: `params ← params - f(grads)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params.len() != grads.len()`.
+    fn update(&mut self, param_id: usize, params: &mut [f32], grads: &[f32]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Changes the learning rate (Sibyl_Opt in §8.3 retunes α online for
+    /// mixed workloads).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent, the paper's optimizer (§6.1, line 18
+/// of Algorithm 1): `w ← w − α·∇w`.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_nn::{Optimizer, Sgd};
+/// let mut opt = Sgd::new(0.1);
+/// let mut w = [1.0f32];
+/// opt.update(0, &mut w, &[0.5]);
+/// assert!((w[0] - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "Sgd: learning rate must be positive");
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, _param_id: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "Sgd::update: length mismatch");
+        for (p, &g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "Sgd: learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias-corrected moment estimates.
+///
+/// Not used by the paper's default configuration but provided as an
+/// extension point for the hyper-parameter studies (§8.5 explores the
+/// learning-rate axis; Adam makes the agent far less sensitive to it).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    /// Per-parameter-group first/second moment buffers and step counts.
+    state: HashMap<usize, AdamState>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        Adam::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates an Adam optimizer with explicit betas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive or betas are outside `[0, 1)`.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "Adam: learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1), "Adam: beta1 must be in [0, 1)");
+        assert!((0.0..1.0).contains(&beta2), "Adam: beta2 must be in [0, 1)");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn update(&mut self, param_id: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "Adam::update: length mismatch");
+        let st = self.state.entry(param_id).or_insert_with(|| AdamState {
+            m: vec![0.0; params.len()],
+            v: vec![0.0; params.len()],
+            t: 0,
+        });
+        assert_eq!(
+            st.m.len(),
+            params.len(),
+            "Adam::update: parameter group {param_id} changed size"
+        );
+        st.t += 1;
+        let b1t = 1.0 - self.beta1.powi(st.t as i32);
+        let b2t = 1.0 - self.beta2.powi(st.t as i32);
+        for i in 0..params.len() {
+            st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * grads[i];
+            st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = st.m[i] / b1t;
+            let v_hat = st.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "Adam: learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_step_is_linear_in_lr() {
+        let mut opt = Sgd::new(0.5);
+        let mut w = [2.0f32];
+        opt.update(0, &mut w, &[1.0]);
+        assert!((w[0] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn sgd_rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimize f(w) = (w - 3)^2
+        let mut opt = Adam::new(0.1);
+        let mut w = [0.0f32];
+        for _ in 0..500 {
+            let g = [2.0 * (w[0] - 3.0)];
+            opt.update(0, &mut w, &g);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn adam_keeps_separate_state_per_group() {
+        let mut opt = Adam::new(0.1);
+        let mut a = [0.0f32];
+        let mut b = [0.0f32];
+        for _ in 0..200 {
+            let ga = [2.0 * (a[0] - 1.0)];
+            opt.update(0, &mut a, &ga);
+            let gb = [2.0 * (b[0] + 1.0)];
+            opt.update(1, &mut b, &gb);
+        }
+        assert!((a[0] - 1.0).abs() < 0.1);
+        assert!((b[0] + 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn learning_rate_accessors_roundtrip() {
+        let mut s = Sgd::new(0.1);
+        s.set_learning_rate(0.01);
+        assert!((s.learning_rate() - 0.01).abs() < 1e-9);
+        let mut a = Adam::new(0.1);
+        a.set_learning_rate(0.02);
+        assert!((a.learning_rate() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sgd_beats_adam_on_tiny_budget() {
+        // Sanity check that both make progress in a couple of steps.
+        let mut s = Sgd::new(0.2);
+        let mut a = Adam::new(0.2);
+        let mut ws = [5.0f32];
+        let mut wa = [5.0f32];
+        for _ in 0..10 {
+            let gs = [2.0 * ws[0]];
+            s.update(0, &mut ws, &gs);
+            let ga = [2.0 * wa[0]];
+            a.update(0, &mut wa, &ga);
+        }
+        assert!(ws[0].abs() < 5.0);
+        assert!(wa[0].abs() < 5.0);
+    }
+}

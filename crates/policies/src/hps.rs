@@ -1,0 +1,169 @@
+//! History-based Page Selection (HPS), after Meswani et al. (HPCA 2015),
+//! as described in the Sibyl paper's §3: "HPS uses the access count of
+//! pages to periodically migrate cold pages to the slower storage
+//! device."
+//!
+//! HPS divides time into fixed epochs. Pages whose access count in the
+//! previous epoch reached a threshold form the *hot set*; requests to
+//! hot-set pages are placed in fast storage and everything else is kept
+//! in (or demoted to) slow storage. The epoch length and hot threshold
+//! are design-time constants — the adaptivity gap the paper targets.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use sibyl_hss::{DeviceId, PlacementContext, PlacementPolicy};
+use sibyl_trace::IoRequest;
+
+/// Static tuning knobs for [`Hps`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HpsConfig {
+    /// Requests per epoch.
+    pub epoch_requests: u64,
+    /// Accesses within one epoch for a page to join the next epoch's hot
+    /// set.
+    pub hot_threshold: u64,
+}
+
+impl Default for HpsConfig {
+    fn default() -> Self {
+        HpsConfig {
+            epoch_requests: 2_000,
+            hot_threshold: 2,
+        }
+    }
+}
+
+/// The HPS heuristic baseline.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_policies::Hps;
+/// use sibyl_hss::PlacementPolicy;
+/// assert_eq!(Hps::default().name(), "HPS");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Hps {
+    config: HpsConfig,
+    /// Access counts accumulated in the current epoch.
+    epoch_counts: HashMap<u64, u64>,
+    /// Hot set computed at the last epoch boundary.
+    hot_set: HashSet<u64>,
+    requests_in_epoch: u64,
+}
+
+impl Hps {
+    /// Creates HPS with explicit epoch length and hot threshold.
+    pub fn new(config: HpsConfig) -> Self {
+        Hps {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// The number of pages currently considered hot.
+    pub fn hot_set_len(&self) -> usize {
+        self.hot_set.len()
+    }
+
+    fn roll_epoch(&mut self) {
+        self.hot_set = self
+            .epoch_counts
+            .drain()
+            .filter(|&(_, c)| c >= self.config.hot_threshold)
+            .map(|(p, _)| p)
+            .collect();
+        self.requests_in_epoch = 0;
+    }
+}
+
+impl PlacementPolicy for Hps {
+    fn name(&self) -> &str {
+        "HPS"
+    }
+
+    fn place(&mut self, req: &IoRequest, ctx: &PlacementContext<'_>) -> DeviceId {
+        if self.requests_in_epoch >= self.config.epoch_requests {
+            self.roll_epoch();
+        }
+        self.requests_in_epoch += 1;
+        for p in req.pages() {
+            *self.epoch_counts.entry(p).or_insert(0) += 1;
+        }
+        if self.hot_set.contains(&req.lpn) {
+            ctx.manager.fastest()
+        } else {
+            ctx.manager.slowest()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_hss::{DeviceSpec, HssConfig, StorageManager};
+    use sibyl_trace::IoOp;
+
+    fn manager() -> StorageManager {
+        let cfg = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd())
+            .with_capacity_pages(vec![1024, u64::MAX]);
+        StorageManager::new(&cfg)
+    }
+
+    fn place(p: &mut Hps, mgr: &StorageManager, req: &IoRequest) -> DeviceId {
+        let ctx = PlacementContext { manager: mgr, seq: 0 };
+        p.place(req, &ctx)
+    }
+
+    #[test]
+    fn first_epoch_places_everything_slow() {
+        let mgr = manager();
+        let mut p = Hps::default();
+        for i in 0..100u64 {
+            let req = IoRequest::new(i, 5, 1, IoOp::Read);
+            assert_eq!(place(&mut p, &mgr, &req), DeviceId(1));
+        }
+    }
+
+    #[test]
+    fn hot_pages_promote_after_epoch_boundary() {
+        let mgr = manager();
+        let mut p = Hps::new(HpsConfig {
+            epoch_requests: 10,
+            hot_threshold: 3,
+        });
+        // Epoch 1: page 7 accessed 5 times, page 8 once.
+        for i in 0..10u64 {
+            let lpn = if i < 5 { 7 } else { 8 + i };
+            let _ = place(&mut p, &mgr, &IoRequest::new(i, lpn, 1, IoOp::Read));
+        }
+        // Epoch 2: page 7 is hot, page 8 is not.
+        let hot = place(&mut p, &mgr, &IoRequest::new(20, 7, 1, IoOp::Read));
+        assert_eq!(hot, DeviceId(0));
+        let cold = place(&mut p, &mgr, &IoRequest::new(21, 8, 1, IoOp::Read));
+        assert_eq!(cold, DeviceId(1));
+        assert_eq!(p.hot_set_len(), 1);
+    }
+
+    #[test]
+    fn hot_set_expires_when_page_cools() {
+        let mgr = manager();
+        let mut p = Hps::new(HpsConfig {
+            epoch_requests: 4,
+            hot_threshold: 2,
+        });
+        // Epoch 1: page 7 hot.
+        for i in 0..4u64 {
+            let _ = place(&mut p, &mgr, &IoRequest::new(i, 7, 1, IoOp::Read));
+        }
+        // Epoch 2: page 7 untouched; other pages dominate.
+        for i in 4..8u64 {
+            let _ = place(&mut p, &mgr, &IoRequest::new(i, 100 + i, 1, IoOp::Read));
+        }
+        // Epoch 3: page 7 no longer hot.
+        let d = place(&mut p, &mgr, &IoRequest::new(9, 7, 1, IoOp::Read));
+        assert_eq!(d, DeviceId(1));
+    }
+}

@@ -1,0 +1,199 @@
+//! The Oracle baseline (§7, after Meswani et al. [113]): "exploits
+//! complete knowledge of future I/O-access patterns to perform data
+//! placement and to select victim data blocks for eviction from the fast
+//! device."
+//!
+//! Placement is Belady-style: a request's pages go to the fastest device
+//! whose *reuse horizon* covers the page's next future access; pages that
+//! will not be reused soon go straight to slower storage. Eviction uses
+//! the farthest-next-use selector ([`sibyl_hss::OracleVictim`]). The
+//! paper uses the Oracle as the ceiling every policy is measured against
+//! (Sibyl reaches ~80 % of it, §8.1).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use sibyl_hss::{DeviceId, NextUseIndex, OracleVictim, PlacementContext, PlacementPolicy, VictimPolicy};
+use sibyl_trace::{IoRequest, Trace};
+
+/// Tuning for [`Oracle`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Scales the reuse horizon for *read* requests: a read's pages are
+    /// promoted to device `d` only when the next use arrives within
+    /// `horizon_scale × capacity(d) / avg_request_pages` future requests
+    /// (promotion has no immediate benefit, only future hits).
+    pub horizon_scale: f64,
+    /// Scales the horizon for *write* requests. Writes benefit from fast
+    /// placement immediately (the write itself is served faster), so the
+    /// Oracle is more aggressive with them.
+    pub write_horizon_scale: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            horizon_scale: 4.0,
+            write_horizon_scale: 24.0,
+        }
+    }
+}
+
+/// The future-knowledge Oracle baseline.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_policies::Oracle;
+/// use sibyl_hss::PlacementPolicy;
+/// assert_eq!(Oracle::default().name(), "Oracle");
+/// ```
+#[derive(Debug, Default)]
+pub struct Oracle {
+    config: OracleConfig,
+    future: Option<Arc<NextUseIndex>>,
+    num_devices: usize,
+    /// Average request size (pages) over the trace, used to convert
+    /// page-denominated capacities into request-denominated horizons.
+    avg_request_pages: f64,
+}
+
+impl Oracle {
+    /// Creates an Oracle with explicit horizon scaling.
+    pub fn new(config: OracleConfig) -> Self {
+        Oracle {
+            config,
+            future: None,
+            num_devices: 0,
+            avg_request_pages: 1.0,
+        }
+    }
+}
+
+impl PlacementPolicy for Oracle {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn prepare(&mut self, num_devices: usize, trace: &Trace) {
+        self.future = Some(Arc::new(NextUseIndex::build(trace)));
+        self.num_devices = num_devices;
+        let total_pages: u64 = trace.iter().map(|r| r.size_pages as u64).sum();
+        self.avg_request_pages = (total_pages as f64 / trace.len().max(1) as f64).max(1.0);
+    }
+
+    fn victim_policy(&self) -> Option<Box<dyn VictimPolicy + Send>> {
+        let future = self.future.as_ref()?;
+        Some(Box::new(OracleVictim::new(self.num_devices.max(2), Arc::clone(future))))
+    }
+
+    fn place(&mut self, req: &IoRequest, ctx: &PlacementContext<'_>) -> DeviceId {
+        let future = self
+            .future
+            .as_ref()
+            .expect("Oracle::place called before prepare()");
+        let next = future.next_use_after(req.lpn, ctx.seq);
+        if next == u64::MAX {
+            // Never used again: nothing to gain from fast placement.
+            return ctx.manager.slowest();
+        }
+        let distance = next - ctx.seq;
+        let scale = if req.op.is_write() {
+            self.config.write_horizon_scale
+        } else {
+            self.config.horizon_scale
+        };
+        // Fastest device whose horizon covers the reuse distance. A
+        // device holding `cap` pages retains a page for roughly
+        // `cap / avg_request_pages` requests before LRU pressure evicts
+        // it — the Belady-style cache-worthiness test.
+        let n = ctx.manager.num_devices();
+        for d in 0..n - 1 {
+            let cap = ctx.manager.capacity(DeviceId(d));
+            if cap == u64::MAX {
+                return DeviceId(d);
+            }
+            let horizon = (cap as f64 / self.avg_request_pages * scale) as u64;
+            if distance <= horizon {
+                return DeviceId(d);
+            }
+        }
+        ctx.manager.slowest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_hss::{DeviceSpec, HssConfig, StorageManager};
+    use sibyl_trace::IoOp;
+
+    fn manager(fast_pages: u64) -> StorageManager {
+        let cfg = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd())
+            .with_capacity_pages(vec![fast_pages, u64::MAX]);
+        StorageManager::new(&cfg)
+    }
+
+    fn trace(lpns: &[u64]) -> Trace {
+        Trace::from_requests(
+            "o",
+            lpns.iter()
+                .enumerate()
+                .map(|(i, &l)| IoRequest::new(i as u64, l, 1, IoOp::Read))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn soon_reused_pages_go_fast() {
+        // Page 5 reused immediately; page 9 never again.
+        let t = trace(&[5, 5, 9]);
+        let mut o = Oracle::default();
+        o.prepare(2, &t);
+        let mgr = manager(100);
+        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        assert_eq!(o.place(&t.requests()[0], &ctx), DeviceId(0));
+        let ctx = PlacementContext { manager: &mgr, seq: 2 };
+        assert_eq!(o.place(&t.requests()[2], &ctx), DeviceId(1));
+    }
+
+    #[test]
+    fn horizon_respects_fast_capacity() {
+        // Page 5's next reuse is 50 requests away; fast capacity is 10
+        // pages, so the reuse distance exceeds the horizon.
+        let mut lpns = vec![5u64];
+        lpns.extend(1_000..1_049);
+        lpns.push(5);
+        let t = trace(&lpns);
+        let mut o = Oracle::default();
+        o.prepare(2, &t);
+        let mgr = manager(10);
+        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        assert_eq!(o.place(&t.requests()[0], &ctx), DeviceId(1));
+        // With a generous horizon it flips to fast.
+        let mut o2 = Oracle::new(OracleConfig { horizon_scale: 10.0, write_horizon_scale: 10.0 });
+        o2.prepare(2, &t);
+        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        assert_eq!(o2.place(&t.requests()[0], &ctx), DeviceId(0));
+    }
+
+    #[test]
+    fn provides_belady_victim_policy_after_prepare() {
+        let t = trace(&[1, 2, 1]);
+        let mut o = Oracle::default();
+        assert!(o.victim_policy().is_none(), "no victim policy before prepare");
+        o.prepare(2, &t);
+        assert!(o.victim_policy().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "before prepare")]
+    fn place_without_prepare_panics() {
+        let mut o = Oracle::default();
+        let mgr = manager(10);
+        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        let req = IoRequest::new(0, 0, 1, IoOp::Read);
+        let _ = o.place(&req, &ctx);
+    }
+}

@@ -1,0 +1,150 @@
+//! The tri-hybrid heuristic baseline (§8.7), after Matsui et al. [76]:
+//! "divides pages into hot, cold, and frozen data and allocates these
+//! pages to H, M, and L devices, respectively. A system architect needs to
+//! statically define the hotness values and explicitly handle the eviction
+//! and promotion between the three devices during design-time."
+//!
+//! The static thresholds below are exactly the kind of design-time
+//! commitment the paper criticizes: they cannot react to device or
+//! workload changes, which is why Sibyl beats this policy by 23.9–48.2 %.
+
+use serde::{Deserialize, Serialize};
+
+use sibyl_hss::{DeviceId, PlacementContext, PlacementPolicy};
+use sibyl_trace::IoRequest;
+
+/// Static hotness thresholds for [`TriHybridHeuristic`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriHybridConfig {
+    /// Access count at or above which a page is *hot* → H (device 0).
+    pub hot_access_count: u64,
+    /// Access count at or above which a page is *cold* (but not frozen)
+    /// → M (device 1). Below this the page is *frozen* → L.
+    pub cold_access_count: u64,
+    /// Writes of at most this many pages count as random and are bumped
+    /// one tier up (CDE lineage: the policy is "based on the CDE policy").
+    pub random_max_pages: u32,
+}
+
+impl Default for TriHybridConfig {
+    fn default() -> Self {
+        TriHybridConfig {
+            hot_access_count: 8,
+            cold_access_count: 2,
+            random_max_pages: 2,
+        }
+    }
+}
+
+/// The hot/cold/frozen three-device heuristic.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_policies::TriHybridHeuristic;
+/// use sibyl_hss::PlacementPolicy;
+/// assert_eq!(TriHybridHeuristic::default().name(), "Heuristic-Tri-Hybrid");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TriHybridHeuristic {
+    config: TriHybridConfig,
+}
+
+impl TriHybridHeuristic {
+    /// Creates the heuristic with explicit thresholds.
+    pub fn new(config: TriHybridConfig) -> Self {
+        TriHybridHeuristic { config }
+    }
+}
+
+impl PlacementPolicy for TriHybridHeuristic {
+    fn name(&self) -> &str {
+        "Heuristic-Tri-Hybrid"
+    }
+
+    fn place(&mut self, req: &IoRequest, ctx: &PlacementContext<'_>) -> DeviceId {
+        let mgr = ctx.manager;
+        let n = mgr.num_devices();
+        let count = mgr.tracker().access_count(req.lpn);
+        // Tier by hotness: 0 = hot, 1 = cold, 2 = frozen.
+        let mut tier = if count >= self.config.hot_access_count {
+            0usize
+        } else if count >= self.config.cold_access_count {
+            1
+        } else {
+            2
+        };
+        // Random writes are bumped one tier up (CDE heritage).
+        if req.op.is_write() && req.size_pages <= self.config.random_max_pages && tier > 0 {
+            tier -= 1;
+        }
+        DeviceId(tier.min(n - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_hss::{DeviceSpec, HssConfig, StorageManager};
+    use sibyl_trace::IoOp;
+
+    fn tri_manager() -> StorageManager {
+        let cfg = HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd())
+            .with_capacity_pages(vec![64, 128, u64::MAX]);
+        StorageManager::new(&cfg)
+    }
+
+    fn place(p: &mut TriHybridHeuristic, mgr: &StorageManager, req: &IoRequest) -> DeviceId {
+        let ctx = PlacementContext { manager: mgr, seq: 0 };
+        p.place(req, &ctx)
+    }
+
+    #[test]
+    fn frozen_pages_go_to_l() {
+        let mgr = tri_manager();
+        let mut p = TriHybridHeuristic::default();
+        let req = IoRequest::new(0, 500, 8, IoOp::Read);
+        assert_eq!(place(&mut p, &mgr, &req), DeviceId(2));
+    }
+
+    #[test]
+    fn warm_pages_go_to_m_hot_pages_to_h() {
+        let mut mgr = tri_manager();
+        let mut p = TriHybridHeuristic::default();
+        // 3 accesses -> cold tier (M).
+        for i in 0..3u64 {
+            let _ = mgr.access(&IoRequest::new(i, 9, 1, IoOp::Read), DeviceId(2));
+        }
+        let req = IoRequest::new(10, 9, 8, IoOp::Read);
+        assert_eq!(place(&mut p, &mgr, &req), DeviceId(1));
+        // 8+ accesses -> hot tier (H).
+        for i in 3..9u64 {
+            let _ = mgr.access(&IoRequest::new(i, 9, 1, IoOp::Read), DeviceId(2));
+        }
+        let req = IoRequest::new(20, 9, 8, IoOp::Read);
+        assert_eq!(place(&mut p, &mgr, &req), DeviceId(0));
+    }
+
+    #[test]
+    fn random_write_bumps_one_tier() {
+        let mgr = tri_manager();
+        let mut p = TriHybridHeuristic::default();
+        // Frozen page, but a small random write -> M instead of L.
+        let req = IoRequest::new(0, 77, 1, IoOp::Write);
+        assert_eq!(place(&mut p, &mgr, &req), DeviceId(1));
+        // Large write stays frozen.
+        let req = IoRequest::new(1, 88, 16, IoOp::Write);
+        assert_eq!(place(&mut p, &mgr, &req), DeviceId(2));
+    }
+
+    #[test]
+    fn degrades_gracefully_on_dual_hss() {
+        // On a 2-device system the frozen tier clamps to the slow device.
+        let cfg = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd())
+            .with_capacity_pages(vec![64, u64::MAX]);
+        let mgr = StorageManager::new(&cfg);
+        let mut p = TriHybridHeuristic::default();
+        let req = IoRequest::new(0, 500, 8, IoOp::Read);
+        assert_eq!(place(&mut p, &mgr, &req), DeviceId(1));
+    }
+}

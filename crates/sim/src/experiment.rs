@@ -1,0 +1,269 @@
+//! The experiment driver: trace × HSS configuration × policy → metrics.
+
+use sibyl_hss::{HssConfig, PlacementContext, PlacementPolicy, StorageManager};
+use sibyl_trace::Trace;
+
+use crate::metrics::Metrics;
+use crate::policy_kind::PolicyKind;
+
+/// Errors from experiment runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace contains no requests.
+    EmptyTrace,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EmptyTrace => write!(f, "trace contains no requests"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// The policy's display name.
+    pub policy: String,
+    /// Collected metrics.
+    pub metrics: Metrics,
+}
+
+/// A reusable experiment: one workload replayed against one HSS
+/// configuration under different policies.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_sim::{Experiment, PolicyKind};
+/// use sibyl_hss::{DeviceSpec, HssConfig};
+/// use sibyl_trace::msrc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = msrc::generate(msrc::Workload::Rsrch0, 2_000, 7);
+/// let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+/// let exp = Experiment::new(hss, trace);
+/// let slow = exp.run(PolicyKind::SlowOnly)?;
+/// let fast = exp.run(PolicyKind::FastOnly)?;
+/// assert!(slow.metrics.avg_latency_us > fast.metrics.avg_latency_us);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    hss: HssConfig,
+    trace: Trace,
+    time_scale: f64,
+}
+
+impl Experiment {
+    /// Creates an experiment from a (possibly fraction-mode) HSS config
+    /// and a trace.
+    pub fn new(hss: HssConfig, trace: Trace) -> Self {
+        Experiment {
+            hss,
+            trace,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Accelerates trace replay by dividing every timestamp by `scale`
+    /// (>1 compresses think time). Throughput comparisons (the paper's
+    /// Fig. 10) replay under load so device capacity, not arrival rate,
+    /// bounds IOPS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "time scale must be positive");
+        self.time_scale = scale;
+        self
+    }
+
+    /// The workload.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The HSS configuration (before footprint resolution).
+    pub fn hss_config(&self) -> &HssConfig {
+        &self.hss
+    }
+
+    /// Runs one policy over the whole trace.
+    ///
+    /// Fast-Only automatically gets unlimited capacities (§7). Policies
+    /// that provide a victim policy (Oracle) have it installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyTrace`] for an empty trace.
+    pub fn run(&self, kind: PolicyKind) -> Result<Outcome, SimError> {
+        let mut policy = kind.build();
+        let config = if kind.wants_unlimited_capacity() {
+            self.hss.clone().with_unlimited_capacities()
+        } else {
+            self.hss.clone()
+        };
+        self.run_boxed(&mut *policy, &config)
+    }
+
+    /// Runs an externally constructed policy (for custom configurations
+    /// and ablations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyTrace`] for an empty trace.
+    pub fn run_policy(&self, policy: &mut dyn PlacementPolicy) -> Result<Outcome, SimError> {
+        let config = self.hss.clone();
+        self.run_boxed(policy, &config)
+    }
+
+    fn run_boxed(&self, policy: &mut dyn PlacementPolicy, config: &HssConfig) -> Result<Outcome, SimError> {
+        if self.trace.is_empty() {
+            return Err(SimError::EmptyTrace);
+        }
+        let footprint = self.trace.footprint_pages();
+        let resolved = config.resolved(footprint);
+        let mut manager = StorageManager::new(&resolved);
+        policy.prepare(manager.num_devices(), &self.trace);
+        if let Some(victim) = policy.victim_policy() {
+            manager.set_victim_policy(victim);
+        }
+        for (seq, orig) in self.trace.iter().enumerate() {
+            let mut req = *orig;
+            if self.time_scale != 1.0 {
+                req.timestamp_us = (orig.timestamp_us as f64 / self.time_scale) as u64;
+            }
+            let target = {
+                let ctx = PlacementContext {
+                    manager: &manager,
+                    seq: seq as u64,
+                };
+                policy.place(&req, &ctx)
+            };
+            let outcome = manager.access(&req, target);
+            let ctx = PlacementContext {
+                manager: &manager,
+                seq: seq as u64,
+            };
+            policy.feedback(&req, &outcome, &ctx);
+        }
+        Ok(Outcome {
+            policy: policy.name().to_string(),
+            metrics: Metrics::from_stats(manager.stats()),
+        })
+    }
+}
+
+/// A full comparison on one workload: every requested policy plus the
+/// Fast-Only normalization baseline.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// The workload name.
+    pub workload: String,
+    /// The Fast-Only baseline outcome.
+    pub fast_only: Outcome,
+    /// Outcomes in the order the policies were given.
+    pub outcomes: Vec<Outcome>,
+}
+
+impl SuiteResult {
+    /// Average latency of outcome `i` normalized to Fast-Only (the
+    /// paper's y-axis in Figs. 2, 9, 11, 12, 15, 16).
+    pub fn normalized_latency(&self, i: usize) -> f64 {
+        self.outcomes[i].metrics.normalized_latency(&self.fast_only.metrics)
+    }
+
+    /// IOPS of outcome `i` normalized to Fast-Only (Fig. 10).
+    pub fn normalized_iops(&self, i: usize) -> f64 {
+        self.outcomes[i].metrics.normalized_iops(&self.fast_only.metrics)
+    }
+
+    /// Looks up an outcome by policy name.
+    pub fn by_name(&self, name: &str) -> Option<&Outcome> {
+        self.outcomes.iter().find(|o| o.policy == name)
+    }
+}
+
+/// Runs `policies` and the Fast-Only baseline on one workload.
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptyTrace`] for an empty trace.
+pub fn run_suite(hss: &HssConfig, trace: &Trace, policies: &[PolicyKind]) -> Result<SuiteResult, SimError> {
+    let exp = Experiment::new(hss.clone(), trace.clone());
+    let fast_only = exp.run(PolicyKind::FastOnly)?;
+    let mut outcomes = Vec::with_capacity(policies.len());
+    for p in policies {
+        outcomes.push(exp.run(p.clone())?);
+    }
+    Ok(SuiteResult {
+        workload: trace.name().to_string(),
+        fast_only,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_hss::DeviceSpec;
+    use sibyl_trace::msrc;
+
+    fn hm() -> HssConfig {
+        HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd())
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let exp = Experiment::new(hm(), Trace::from_requests("e", vec![]));
+        assert_eq!(exp.run(PolicyKind::SlowOnly), Err(SimError::EmptyTrace));
+        assert_eq!(SimError::EmptyTrace.to_string(), "trace contains no requests");
+    }
+
+    #[test]
+    fn fast_only_beats_slow_only() {
+        let trace = msrc::generate(msrc::Workload::Prxy1, 3_000, 1);
+        let exp = Experiment::new(hm(), trace);
+        let fast = exp.run(PolicyKind::FastOnly).unwrap();
+        let slow = exp.run(PolicyKind::SlowOnly).unwrap();
+        assert!(fast.metrics.avg_latency_us < slow.metrics.avg_latency_us);
+        assert!(fast.metrics.iops > slow.metrics.iops);
+    }
+
+    #[test]
+    fn suite_normalizes_against_fast_only() {
+        let trace = msrc::generate(msrc::Workload::Rsrch0, 2_000, 2);
+        let suite = run_suite(&hm(), &trace, &[PolicyKind::SlowOnly]).unwrap();
+        let n = suite.normalized_latency(0);
+        assert!(n > 1.0, "Slow-Only normalized latency {n} must exceed 1");
+        assert!(suite.normalized_iops(0) <= 1.0);
+        assert!(suite.by_name("Slow-Only").is_some());
+        assert!(suite.by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn oracle_victim_policy_is_installed_and_runs() {
+        let trace = msrc::generate(msrc::Workload::Hm1, 2_000, 3);
+        let exp = Experiment::new(hm(), trace);
+        let oracle = exp.run(PolicyKind::Oracle).unwrap();
+        assert_eq!(oracle.policy, "Oracle");
+        assert!(oracle.metrics.total_requests == 2_000);
+    }
+
+    #[test]
+    fn outcome_totals_match_trace_length() {
+        let trace = msrc::generate(msrc::Workload::Web1, 1_500, 4);
+        let exp = Experiment::new(hm(), trace);
+        for kind in [PolicyKind::Cde, PolicyKind::Hps, PolicyKind::sibyl()] {
+            let out = exp.run(kind).unwrap();
+            assert_eq!(out.metrics.total_requests, 1_500);
+            assert_eq!(out.metrics.placements.iter().sum::<u64>(), 1_500);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Parameter-sweep helpers behind the paper's sensitivity studies
+//! (Figs. 8, 14, 15).
+
+use sibyl_core::SibylConfig;
+use sibyl_hss::HssConfig;
+use sibyl_trace::Trace;
+
+use crate::experiment::{run_suite, SimError};
+use crate::policy_kind::PolicyKind;
+
+/// One point of a sweep: the swept value and each policy's latency
+/// normalized to Fast-Only.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter value (e.g. capacity fraction, buffer size).
+    pub x: f64,
+    /// `(policy name, normalized average latency)` pairs.
+    pub normalized_latency: Vec<(String, f64)>,
+    /// `(policy name, normalized IOPS)` pairs.
+    pub normalized_iops: Vec<(String, f64)>,
+}
+
+/// Sweeps the fast device's capacity fraction (Fig. 15: 0 %–100 % of the
+/// working set).
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptyTrace`] for an empty trace.
+pub fn fast_capacity_sweep(
+    hss: &HssConfig,
+    trace: &Trace,
+    policies: &[PolicyKind],
+    fractions: &[f64],
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut points = Vec::with_capacity(fractions.len());
+    for &f in fractions {
+        let cfg = hss.clone().with_fast_capacity_fraction(f);
+        let suite = run_suite(&cfg, trace, policies)?;
+        points.push(SweepPoint {
+            x: f,
+            normalized_latency: suite
+                .outcomes
+                .iter()
+                .enumerate()
+                .map(|(i, o)| (o.policy.clone(), suite.normalized_latency(i)))
+                .collect(),
+            normalized_iops: suite
+                .outcomes
+                .iter()
+                .enumerate()
+                .map(|(i, o)| (o.policy.clone(), suite.normalized_iops(i)))
+                .collect(),
+        });
+    }
+    Ok(points)
+}
+
+/// Sweeps one Sibyl hyper-parameter by building a config per value
+/// (Figs. 8 and 14). The `mutate` closure applies the swept value to a
+/// default config.
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptyTrace`] for an empty trace.
+pub fn sibyl_param_sweep<F>(
+    hss: &HssConfig,
+    trace: &Trace,
+    values: &[f64],
+    mut mutate: F,
+) -> Result<Vec<SweepPoint>, SimError>
+where
+    F: FnMut(&mut SibylConfig, f64),
+{
+    let mut points = Vec::with_capacity(values.len());
+    for &v in values {
+        let mut cfg = SibylConfig::default();
+        mutate(&mut cfg, v);
+        let suite = run_suite(hss, trace, &[PolicyKind::sibyl_with(cfg)])?;
+        points.push(SweepPoint {
+            x: v,
+            normalized_latency: vec![("Sibyl".to_string(), suite.normalized_latency(0))],
+            normalized_iops: vec![("Sibyl".to_string(), suite.normalized_iops(0))],
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_hss::DeviceSpec;
+    use sibyl_trace::msrc;
+
+    fn hm() -> HssConfig {
+        HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd())
+    }
+
+    #[test]
+    fn capacity_sweep_produces_one_point_per_fraction() {
+        let trace = msrc::generate(msrc::Workload::Hm1, 1_500, 5);
+        let pts = fast_capacity_sweep(&hm(), &trace, &[PolicyKind::Cde], &[0.05, 0.5]).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].x, 0.05);
+        assert_eq!(pts[0].normalized_latency.len(), 1);
+        assert_eq!(pts[0].normalized_latency[0].0, "CDE");
+    }
+
+    #[test]
+    fn larger_fast_capacity_does_not_hurt_cde() {
+        let trace = msrc::generate(msrc::Workload::Prxy1, 3_000, 6);
+        let pts =
+            fast_capacity_sweep(&hm(), &trace, &[PolicyKind::Cde], &[0.02, 0.9]).unwrap();
+        let small = pts[0].normalized_latency[0].1;
+        let large = pts[1].normalized_latency[0].1;
+        assert!(
+            large <= small * 1.3,
+            "more capacity should not hurt much: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn param_sweep_applies_mutation() {
+        let trace = msrc::generate(msrc::Workload::Rsrch0, 1_000, 7);
+        let pts = sibyl_param_sweep(&hm(), &trace, &[0.5, 0.9], |cfg, v| {
+            cfg.discount = v as f32;
+        })
+        .unwrap();
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.normalized_latency[0].1 > 0.0));
+    }
+}

@@ -1,0 +1,129 @@
+//! The basic storage-request model.
+
+use serde::{Deserialize, Serialize};
+
+/// Logical page size in bytes. The paper manages placement at 4 KiB
+/// granularity (§2.1, §10.2).
+pub const PAGE_SIZE_BYTES: u64 = 4096;
+
+/// Direction of a storage request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoOp {
+    /// A read of previously written data.
+    Read,
+    /// A write (or overwrite).
+    Write,
+}
+
+impl IoOp {
+    /// `true` for [`IoOp::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, IoOp::Write)
+    }
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoOp::Read => write!(f, "R"),
+            IoOp::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// One block-I/O request as seen by the storage management layer.
+///
+/// A request covers `size_pages` consecutive 4 KiB logical pages starting
+/// at logical page number `lpn`. Timestamps are microseconds since trace
+/// start; in the MSRC traces the gap between consecutive requests is the
+/// time the cores spent computing (§3).
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_trace::{IoOp, IoRequest};
+/// let req = IoRequest::new(1_000, 42, 4, IoOp::Write);
+/// assert_eq!(req.size_bytes(), 16_384);
+/// assert_eq!(req.last_lpn(), 45);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Issue time in microseconds since trace start.
+    pub timestamp_us: u64,
+    /// First logical page number touched.
+    pub lpn: u64,
+    /// Number of consecutive 4 KiB pages covered (≥ 1).
+    pub size_pages: u32,
+    /// Read or write.
+    pub op: IoOp,
+}
+
+impl IoRequest {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_pages` is zero.
+    pub fn new(timestamp_us: u64, lpn: u64, size_pages: u32, op: IoOp) -> Self {
+        assert!(size_pages > 0, "IoRequest: size_pages must be >= 1");
+        IoRequest {
+            timestamp_us,
+            lpn,
+            size_pages,
+            op,
+        }
+    }
+
+    /// Request size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_pages as u64 * PAGE_SIZE_BYTES
+    }
+
+    /// Request size in KiB (the unit of Table 4's "avg. request size").
+    pub fn size_kib(&self) -> f64 {
+        self.size_bytes() as f64 / 1024.0
+    }
+
+    /// The last logical page number covered.
+    pub fn last_lpn(&self) -> u64 {
+        self.lpn + self.size_pages as u64 - 1
+    }
+
+    /// Iterates over every logical page number the request touches.
+    pub fn pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lpn..=self.last_lpn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_conversions() {
+        let r = IoRequest::new(0, 100, 8, IoOp::Read);
+        assert_eq!(r.size_bytes(), 32768);
+        assert!((r.size_kib() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pages_iterator_covers_range() {
+        let r = IoRequest::new(0, 5, 3, IoOp::Write);
+        let pages: Vec<u64> = r.pages().collect();
+        assert_eq!(pages, vec![5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size_pages must be >= 1")]
+    fn zero_size_rejected() {
+        let _ = IoRequest::new(0, 0, 0, IoOp::Read);
+    }
+
+    #[test]
+    fn op_display_and_predicates() {
+        assert_eq!(IoOp::Read.to_string(), "R");
+        assert_eq!(IoOp::Write.to_string(), "W");
+        assert!(IoOp::Write.is_write());
+        assert!(!IoOp::Read.is_write());
+    }
+}

@@ -1,0 +1,147 @@
+//! Exact inverse-CDF Zipf sampler.
+//!
+//! All workload generators draw their hot sets from a Zipf(θ) distribution
+//! over address segments — the standard model for enterprise block-I/O
+//! popularity skew (YCSB uses θ ≈ 0.99). `rand` 0.8 does not ship a Zipf
+//! distribution, so this module implements one with a precomputed
+//! cumulative table and binary search: exact, O(log n) per sample, and
+//! deterministic given the RNG.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` where rank `k` has probability
+/// proportional to `1 / (k + 1)^theta`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sibyl_trace::zipf::Zipf;
+///
+/// let z = Zipf::new(1000, 0.99);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `theta`.
+    ///
+    /// `theta = 0` degenerates to the uniform distribution; larger values
+    /// concentrate mass on low ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or not finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf: n must be positive");
+        assert!(theta.is_finite() && theta >= 0.0, "Zipf: theta must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // n > 0 is enforced at construction
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skews_toward_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        // Rank 0 of Zipf(1.0) over 100 ≈ 1/H_100 ≈ 0.193
+        assert!((z.pmf(0) - 0.1928).abs() < 1e-3);
+    }
+
+    #[test]
+    fn samples_cover_support_and_match_skew() {
+        let z = Zipf::new(10, 0.99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "head should dominate: {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "all ranks reachable: {counts:?}");
+        // Empirical head frequency close to pmf(0).
+        let freq0 = counts[0] as f64 / 20_000.0;
+        assert!((freq0 - z.pmf(0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(1000, 0.8);
+        let mut a = rand::rngs::StdRng::seed_from_u64(3);
+        let mut b = rand::rngs::StdRng::seed_from_u64(3);
+        let sa: Vec<usize> = (0..100).map(|_| z.sample(&mut a)).collect();
+        let sb: Vec<usize> = (0..100).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(57, 1.3);
+        let s: f64 = (0..57).map(|k| z.pmf(k)).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! # Sibyl
+//!
+//! A reproduction of *"Sibyl: Adaptive and Extensible Data Placement in
+//! Hybrid Storage Systems Using Online Reinforcement Learning"*
+//! (Singh et al., ISCA 2022).
+//!
+//! This facade crate re-exports the workspace members so downstream users
+//! and the bundled examples can depend on a single crate:
+//!
+//! - [`core`] — the Sibyl reinforcement-learning agent (the paper's
+//!   primary contribution): state features, reward shaping, experience
+//!   replay, and the C51 categorical deep Q-network.
+//! - [`nn`] — the neural-network substrate (dense + recurrent layers,
+//!   optimizers, half-precision utilities).
+//! - [`hss`] — the hybrid-storage-system simulator (device models,
+//!   unified logical address space, migration/eviction machinery).
+//! - [`trace`] — block-I/O trace model and synthetic workload generators.
+//! - [`policies`] — baseline placement policies (CDE, HPS, Archivist,
+//!   RNN-HSS, Oracle, Slow-Only, Fast-Only, tri-hybrid heuristic).
+//! - [`sim`] — the experiment runner, metrics, and parameter sweeps.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use sibyl::hss::{HssConfig, DeviceSpec};
+//! use sibyl::sim::{Experiment, PolicyKind};
+//! use sibyl::trace::msrc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Synthesize a small MSRC-like workload and run Sibyl on a
+//! // performance-oriented (Optane + TLC SSD) hybrid configuration.
+//! let trace = msrc::generate(msrc::Workload::Rsrch0, 20_000, 42);
+//! let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd())
+//!     .with_fast_capacity_fraction(0.10);
+//! let outcome = Experiment::new(hss, trace).run(PolicyKind::sibyl())?;
+//! println!("average latency: {:.1} us", outcome.metrics.avg_latency_us);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use sibyl_core as core;
+pub use sibyl_hss as hss;
+pub use sibyl_nn as nn;
+pub use sibyl_policies as policies;
+pub use sibyl_sim as sim;
+pub use sibyl_trace as trace;
