@@ -5,7 +5,9 @@
 //! workloads (41.1 %/32.6 % average loss in H&M/H&L), and no single
 //! policy wins everywhere.
 
-use sibyl_bench::{banner, hl_config, hm_config, latency_row, motivation_workloads, seed, trace_len};
+use sibyl_bench::{
+    banner, hl_config, hm_config, latency_row, motivation_workloads, seed, trace_len,
+};
 use sibyl_sim::report::Table;
 use sibyl_sim::{run_suite, PolicyKind};
 use sibyl_trace::msrc;

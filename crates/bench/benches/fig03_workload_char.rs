@@ -19,7 +19,11 @@ fn main() {
     ]);
     for wl in all_workloads() {
         let st = TraceStats::measure(&msrc::generate(wl, n, seed()));
-        let hot = if st.avg_access_count >= 10.0 { "hot" } else { "cold" };
+        let hot = if st.avg_access_count >= 10.0 {
+            "hot"
+        } else {
+            "cold"
+        };
         let seq = if st.avg_request_size_kib >= 20.0 {
             "sequential"
         } else {

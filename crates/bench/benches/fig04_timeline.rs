@@ -14,20 +14,24 @@ fn main() {
     );
     let duration = trace.duration_us().max(1);
     const BUCKETS: usize = 24;
-    let mut lo = vec![u64::MAX; BUCKETS];
-    let mut hi = vec![0u64; BUCKETS];
-    let mut size_sum = vec![0u64; BUCKETS];
-    let mut count = vec![0u64; BUCKETS];
+    let mut lo = [u64::MAX; BUCKETS];
+    let mut hi = [0u64; BUCKETS];
+    let mut size_sum = [0u64; BUCKETS];
+    let mut count = [0u64; BUCKETS];
     let t0 = trace.requests()[0].timestamp_us;
     for r in trace.iter() {
-        let b = (((r.timestamp_us - t0) as u128 * BUCKETS as u128 / (duration as u128 + 1)) as usize)
+        let b = (((r.timestamp_us - t0) as u128 * BUCKETS as u128 / (duration as u128 + 1))
+            as usize)
             .min(BUCKETS - 1);
         lo[b] = lo[b].min(r.lpn);
         hi[b] = hi[b].max(r.last_lpn());
         size_sum[b] += r.size_pages as u64;
         count[b] += 1;
     }
-    println!("{:>6} {:>12} {:>12} {:>10} {:>8}", "bucket", "min lpn", "max lpn", "avg KiB", "reqs");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>8}",
+        "bucket", "min lpn", "max lpn", "avg KiB", "reqs"
+    );
     for b in 0..BUCKETS {
         if count[b] == 0 {
             continue;
@@ -41,5 +45,7 @@ fn main() {
             count[b]
         );
     }
-    println!("\n(The shifting address window across buckets reproduces the paper's drifting hot set.)");
+    println!(
+        "\n(The shifting address window across buckets reproduces the paper's drifting hot set.)"
+    );
 }

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut row = vec![trace.name().to_string()];
             for p in &policies {
                 let out = exp.run(p.clone())?;
-                row.push(format!("{:.3}", out.metrics.iops / fast.metrics.iops.max(1e-9)));
+                row.push(format!(
+                    "{:.3}",
+                    out.metrics.iops / fast.metrics.iops.max(1e-9)
+                ));
             }
             table.add_row(row.clone());
             rows.push(row);

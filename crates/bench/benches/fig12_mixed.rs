@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut seen_sibyl = false;
         for h in headers.iter_mut() {
             if h == "Sibyl" {
-                *h = if seen_sibyl { "Sibyl_Opt".into() } else { "Sibyl_Def".into() };
+                *h = if seen_sibyl {
+                    "Sibyl_Opt".into()
+                } else {
+                    "Sibyl_Def".into()
+                };
                 seen_sibyl = true;
             }
         }

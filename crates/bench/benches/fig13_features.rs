@@ -42,6 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     sibyl_bench::append_avg_row(&mut table, &rows);
     println!("{}", table.render());
-    println!("(The paper: using all six features is consistently best — up to 43.6 % lower latency.)");
+    println!(
+        "(The paper: using all six features is consistently best — up to 43.6 % lower latency.)"
+    );
     Ok(())
 }

@@ -8,11 +8,20 @@ use sibyl_sim::report::Table;
 use sibyl_sim::{Experiment, PolicyKind};
 use sibyl_trace::msrc;
 
-fn sweep<F>(name: &str, values: &[f64], mut mutate: F, n: usize) -> Result<(), Box<dyn std::error::Error>>
+fn sweep<F>(
+    name: &str,
+    values: &[f64],
+    mut mutate: F,
+    n: usize,
+) -> Result<(), Box<dyn std::error::Error>>
 where
     F: FnMut(&mut SibylConfig, f64),
 {
-    let workloads = [msrc::Workload::Rsrch0, msrc::Workload::Prxy1, msrc::Workload::Usr0];
+    let workloads = [
+        msrc::Workload::Rsrch0,
+        msrc::Workload::Prxy1,
+        msrc::Workload::Usr0,
+    ];
     let mut table = Table::new(vec![name.to_string(), "normalized IOPS (avg)".to_string()]);
     for &v in values {
         let mut acc = 0.0f64;
@@ -25,7 +34,10 @@ where
             let out = exp.run(PolicyKind::sibyl_with(cfg))?;
             acc += out.metrics.iops / fast.metrics.iops.max(1e-9);
         }
-        table.add_row(vec![format!("{v}"), format!("{:.3}", acc / workloads.len() as f64)]);
+        table.add_row(vec![
+            format!("{v}"),
+            format!("{:.3}", acc / workloads.len() as f64),
+        ]);
     }
     println!("{}", table.render());
     Ok(())
@@ -38,7 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Sibyl throughput sensitivity to γ, α, ε (H&M, normalized to Fast-Only)",
     );
     println!("(a) discount factor γ");
-    sweep("gamma", &[0.0, 0.1, 0.5, 0.9, 0.95, 1.0], |c, v| c.discount = v as f32, n)?;
+    sweep(
+        "gamma",
+        &[0.0, 0.1, 0.5, 0.9, 0.95, 1.0],
+        |c, v| c.discount = v as f32,
+        n,
+    )?;
     println!("(b) learning rate α");
     sweep(
         "alpha",

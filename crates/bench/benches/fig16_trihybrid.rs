@@ -5,7 +5,9 @@
 //! capacity of M as a state feature — both happen automatically from the
 //! device count (§8.7).
 
-use sibyl_bench::{all_workloads, banner, hml_config, hml_ssd_config, latency_row, seed, trace_len};
+use sibyl_bench::{
+    all_workloads, banner, hml_config, hml_ssd_config, latency_row, seed, trace_len,
+};
 use sibyl_sim::report::Table;
 use sibyl_sim::{run_suite, PolicyKind};
 use sibyl_trace::msrc;
@@ -17,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Figure 16",
         "Tri-HSS average request latency normalized to Fast-Only",
     );
-    for (name, cfg) in [("(a) H&M&L", hml_config()), ("(b) H&M&Lssd", hml_ssd_config())] {
+    for (name, cfg) in [
+        ("(a) H&M&L", hml_config()),
+        ("(b) H&M&Lssd", hml_ssd_config()),
+    ] {
         let mut headers = vec!["workload".to_string()];
         headers.extend(policies.iter().map(|p| p.name().to_string()));
         let mut table = Table::new(headers);

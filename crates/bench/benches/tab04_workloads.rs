@@ -37,5 +37,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("(Access counts scale with trace length; the paper's values are for full-week traces.)");
+    println!(
+        "(Access counts scale with trace length; the paper's values are for full-week traces.)"
+    );
 }

@@ -46,12 +46,20 @@ pub fn hl_config() -> HssConfig {
 
 /// The paper's H&M&L tri-hybrid configuration.
 pub fn hml_config() -> HssConfig {
-    HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd())
+    HssConfig::tri(
+        DeviceSpec::optane_ssd(),
+        DeviceSpec::tlc_ssd(),
+        DeviceSpec::hdd(),
+    )
 }
 
 /// The paper's H&M&Lssd tri-hybrid configuration.
 pub fn hml_ssd_config() -> HssConfig {
-    HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::cheap_ssd())
+    HssConfig::tri(
+        DeviceSpec::optane_ssd(),
+        DeviceSpec::tlc_ssd(),
+        DeviceSpec::cheap_ssd(),
+    )
 }
 
 /// A 6-workload subset used where running all 14 would make a sweep
@@ -104,7 +112,8 @@ pub fn append_avg_row(table: &mut Table, rows: &[Vec<String>]) {
         if vals.is_empty() {
             avg.push(String::new());
         } else {
-            let gm = (vals.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / vals.len() as f64).exp();
+            let gm =
+                (vals.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / vals.len() as f64).exp();
             avg.push(format!("{gm:.2}"));
         }
     }

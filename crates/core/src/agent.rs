@@ -177,7 +177,8 @@ impl SibylAgent {
             Engine::Synchronous(learner) => {
                 learner.push(exp);
                 if due && learner.train_step().is_some() {
-                    rt.inference_net.copy_weights_from(&learner.weights_snapshot());
+                    rt.inference_net
+                        .copy_weights_from(&learner.weights_snapshot());
                     self.stats.train_steps = learner.train_steps;
                     self.stats.weight_syncs += 1;
                 }
@@ -261,7 +262,9 @@ impl PlacementPolicy for SibylAgent {
     }
 
     fn feedback(&mut self, _req: &IoRequest, outcome: &AccessOutcome, _ctx: &PlacementContext<'_>) {
-        let Some(rt) = self.runtime.as_ref() else { return };
+        let Some(rt) = self.runtime.as_ref() else {
+            return;
+        };
         if let Some(pending) = self.pending.as_mut() {
             pending.reward = Some(rt.shaper.reward(outcome));
         }
@@ -299,11 +302,17 @@ mod tests {
     fn drive(agent: &mut SibylAgent, mgr: &mut StorageManager, reqs: &[IoRequest]) {
         for (i, req) in reqs.iter().enumerate() {
             let target = {
-                let ctx = PlacementContext { manager: mgr, seq: i as u64 };
+                let ctx = PlacementContext {
+                    manager: mgr,
+                    seq: i as u64,
+                };
                 agent.place(req, &ctx)
             };
             let outcome = mgr.access(req, target);
-            let ctx = PlacementContext { manager: mgr, seq: i as u64 };
+            let ctx = PlacementContext {
+                manager: mgr,
+                seq: i as u64,
+            };
             agent.feedback(req, &outcome, &ctx);
         }
     }
@@ -420,8 +429,12 @@ mod tests {
 
     #[test]
     fn tri_device_action_space() {
-        let cfg = HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd())
-            .with_capacity_pages(vec![64, 128, u64::MAX]);
+        let cfg = HssConfig::tri(
+            DeviceSpec::optane_ssd(),
+            DeviceSpec::tlc_ssd(),
+            DeviceSpec::hdd(),
+        )
+        .with_capacity_pages(vec![64, 128, u64::MAX]);
         let mut mgr = StorageManager::new(&cfg);
         let mut agent = SibylAgent::new(fast_test_config());
         let reqs = hot_cold_stream(900);

@@ -146,7 +146,11 @@ impl ExperienceBuffer {
     /// Uniformly samples `batch_size` experiences (with replacement when
     /// the buffer is smaller than the batch). Returns an empty vector for
     /// an empty buffer.
-    pub fn sample<'a, R: Rng + ?Sized>(&'a self, batch_size: usize, rng: &mut R) -> Vec<&'a Experience> {
+    pub fn sample<'a, R: Rng + ?Sized>(
+        &'a self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<&'a Experience> {
         if self.entries.is_empty() {
             return Vec::new();
         }

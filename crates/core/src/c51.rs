@@ -130,7 +130,11 @@ impl Categorical {
     ///
     /// Panics if `next_probs.len() != n_atoms`.
     pub fn project(&self, reward: f32, gamma: f32, next_probs: &[f32]) -> Vec<f32> {
-        assert_eq!(next_probs.len(), self.n_atoms, "next distribution length mismatch");
+        assert_eq!(
+            next_probs.len(),
+            self.n_atoms,
+            "next distribution length mismatch"
+        );
         let mut m = vec![0.0f32; self.n_atoms];
         for (j, &p) in next_probs.iter().enumerate() {
             if p == 0.0 {
@@ -160,7 +164,13 @@ impl Categorical {
     /// # Panics
     ///
     /// Panics on any length/action mismatch.
-    pub fn loss_grad(&self, logits: &[f32], action: usize, target: &[f32], grad: &mut Vec<f32>) -> f32 {
+    pub fn loss_grad(
+        &self,
+        logits: &[f32],
+        action: usize,
+        target: &[f32],
+        grad: &mut Vec<f32>,
+    ) -> f32 {
         assert_eq!(logits.len(), self.n_outputs(), "logit length mismatch");
         assert!(action < self.n_actions, "action out of range");
         assert_eq!(target.len(), self.n_atoms, "target length mismatch");
@@ -249,8 +259,14 @@ mod tests {
         let mut grad = Vec::new();
         let loss = c.loss_grad(&logits, 1, &target, &mut grad);
         assert!(loss > 0.0);
-        assert!(grad[..11].iter().all(|&g| g == 0.0), "action 0 block untouched");
-        assert!(grad[11..].iter().any(|&g| g != 0.0), "action 1 block has gradient");
+        assert!(
+            grad[..11].iter().all(|&g| g == 0.0),
+            "action 0 block untouched"
+        );
+        assert!(
+            grad[11..].iter().any(|&g| g != 0.0),
+            "action 1 block has gradient"
+        );
     }
 
     proptest! {

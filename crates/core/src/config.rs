@@ -213,7 +213,10 @@ impl SibylConfig {
         );
         assert!(self.batch_size > 0, "batch_size must be positive");
         assert!(self.buffer_capacity > 0, "buffer_capacity must be positive");
-        assert!(self.batches_per_step > 0, "batches_per_step must be positive");
+        assert!(
+            self.batches_per_step > 0,
+            "batches_per_step must be positive"
+        );
         assert!(self.train_interval > 0, "train_interval must be positive");
         assert!(self.n_atoms >= 2, "n_atoms must be at least 2");
         assert!(self.v_max > 0.0, "v_max must be positive");

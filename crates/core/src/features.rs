@@ -97,10 +97,17 @@ impl FeatureMask {
 
     /// Number of unmasked features (of the base six).
     pub fn active_count(&self) -> usize {
-        [self.size, self.op_type, self.interval, self.count, self.capacity, self.current]
-            .iter()
-            .filter(|&&b| b)
-            .count()
+        [
+            self.size,
+            self.op_type,
+            self.interval,
+            self.count,
+            self.capacity,
+            self.current,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
     }
 }
 
@@ -177,11 +184,31 @@ impl StateEncoder {
 
         let mut vector = Vec::with_capacity(self.observation_len());
         let m = &self.mask;
-        vector.push(if m.size { norm(size_bin, bins::SIZE) } else { 0.0 });
-        vector.push(if m.op_type { norm(type_bin, bins::TYPE) } else { 0.0 });
-        vector.push(if m.interval { norm(interval_bin, bins::INTERVAL) } else { 0.0 });
-        vector.push(if m.count { norm(count_bin, bins::COUNT) } else { 0.0 });
-        vector.push(if m.capacity { norm(cap_bin, bins::CAPACITY) } else { 0.0 });
+        vector.push(if m.size {
+            norm(size_bin, bins::SIZE)
+        } else {
+            0.0
+        });
+        vector.push(if m.op_type {
+            norm(type_bin, bins::TYPE)
+        } else {
+            0.0
+        });
+        vector.push(if m.interval {
+            norm(interval_bin, bins::INTERVAL)
+        } else {
+            0.0
+        });
+        vector.push(if m.count {
+            norm(count_bin, bins::COUNT)
+        } else {
+            0.0
+        });
+        vector.push(if m.capacity {
+            norm(cap_bin, bins::CAPACITY)
+        } else {
+            0.0
+        });
         vector.push(if m.current {
             norm(curr_dev, self.num_devices as u32)
         } else {
@@ -274,8 +301,12 @@ mod tests {
     fn tri_hss_gets_seventh_capacity_feature() {
         let enc = StateEncoder::new(FeatureMask::ALL, 3);
         assert_eq!(enc.observation_len(), 7);
-        let cfg = HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd())
-            .with_capacity_pages(vec![32, 64, u64::MAX]);
+        let cfg = HssConfig::tri(
+            DeviceSpec::optane_ssd(),
+            DeviceSpec::tlc_ssd(),
+            DeviceSpec::hdd(),
+        )
+        .with_capacity_pages(vec![32, 64, u64::MAX]);
         let mgr = StorageManager::new(&cfg);
         let req = IoRequest::new(0, 5, 1, IoOp::Read);
         let obs = enc.observe(&req, &mgr);
@@ -351,6 +382,9 @@ mod tests {
         // Fill half the fast device.
         let _ = mgr.access(&IoRequest::new(0, 100, 32, IoOp::Write), DeviceId(0));
         let after = enc.observe(&req, &mgr).vector[4];
-        assert!(after < before, "capacity feature should drop: {before} -> {after}");
+        assert!(
+            after < before,
+            "capacity feature should drop: {before} -> {after}"
+        );
     }
 }

@@ -21,9 +21,12 @@ pub(crate) enum ValueHead {
 impl ValueHead {
     pub(crate) fn new(config: &SibylConfig, n_actions: usize) -> Self {
         match config.agent_kind {
-            AgentKind::C51 => {
-                ValueHead::C51(Categorical::new(n_actions, config.n_atoms, config.v_min, config.v_max))
-            }
+            AgentKind::C51 => ValueHead::C51(Categorical::new(
+                n_actions,
+                config.n_atoms,
+                config.v_min,
+                config.v_max,
+            )),
             AgentKind::Dqn => ValueHead::Dqn { n_actions },
         }
     }
@@ -71,7 +74,10 @@ impl ValueHead {
                 c.loss_grad(logits, action, &target, grad)
             }
             ValueHead::Dqn { n_actions } => {
-                let max_next = next_logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let max_next = next_logits
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max);
                 let y = reward + gamma * max_next;
                 grad.clear();
                 grad.resize(*n_actions, 0.0);
@@ -265,12 +271,9 @@ mod tests {
         for _ in 0..200 {
             l.train_step().expect("buffer non-empty");
         }
-        let logits = l.weights_snapshot().infer(&vec![0.5; 6]);
+        let logits = l.weights_snapshot().infer(&[0.5; 6]);
         let q = l.head().q_values(&logits);
-        assert!(
-            q[1] > q[0] + 0.3,
-            "Q should prefer rewarded action: {q:?}"
-        );
+        assert!(q[1] > q[0] + 0.3, "Q should prefer rewarded action: {q:?}");
     }
 
     #[test]
@@ -288,7 +291,7 @@ mod tests {
         for _ in 0..80 {
             l.train_step();
         }
-        let logits = l.weights_snapshot().infer(&vec![0.5; 6]);
+        let logits = l.weights_snapshot().infer(&[0.5; 6]);
         let q = l.head().q_values(&logits);
         assert!(q[1] > q[0], "DQN should prefer rewarded action: {q:?}");
     }

@@ -54,7 +54,12 @@ impl OverheadReport {
             AgentKind::C51 => n_actions * config.n_atoms,
             AgentKind::Dqn => n_actions,
         };
-        let dims = [obs_len, config.hidden_dims[0], config.hidden_dims[1], outputs];
+        let dims = [
+            obs_len,
+            config.hidden_dims[0],
+            config.hidden_dims[1],
+            outputs,
+        ];
         let weights: usize = dims.windows(2).map(|w| w[0] * w[1]).sum();
         let biases: usize = dims[1..].iter().sum();
         let inference_macs = weights;

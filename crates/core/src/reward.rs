@@ -36,6 +36,11 @@ pub struct RewardShaper {
     floor: f64,
 }
 
+/// Upper bound on a single-step latency reward. The scaling aims for a
+/// best-case reward of ≈ 1; this cap absorbs sub-minimum-service
+/// latencies (well inside the default C51 support of `[-1, 4]`).
+pub const REWARD_CAP: f64 = 1.5;
+
 impl RewardShaper {
     /// Creates a shaper. `scale_us` should be the fastest device's
     /// minimum service time (`DeviceSpec::min_read_service_us`).
@@ -46,9 +51,18 @@ impl RewardShaper {
     ///
     /// Panics if `scale_us` is not positive or `penalty_coeff` is
     /// negative.
-    pub fn new(kind: RewardKind, penalty_coeff: f64, scale_us: f64, clamp: bool, floor: f64) -> Self {
+    pub fn new(
+        kind: RewardKind,
+        penalty_coeff: f64,
+        scale_us: f64,
+        clamp: bool,
+        floor: f64,
+    ) -> Self {
         assert!(scale_us > 0.0, "RewardShaper: scale must be positive");
-        assert!(penalty_coeff >= 0.0, "RewardShaper: penalty must be non-negative");
+        assert!(
+            penalty_coeff >= 0.0,
+            "RewardShaper: penalty must be non-negative"
+        );
         RewardShaper {
             kind,
             penalty_coeff,
@@ -68,9 +82,11 @@ impl RewardShaper {
                 if outcome.caused_eviction() {
                     let penalty = self.penalty_coeff * outcome.eviction_us * self.scale_us;
                     let lower = if self.clamp { 0.0 } else { self.floor };
-                    (base - penalty).max(lower) as f32
+                    // Capped like the no-eviction branch: a lightly
+                    // penalized ultra-fast access gets no special ceiling.
+                    (base - penalty).max(lower).min(REWARD_CAP) as f32
                 } else {
-                    base.min(1.5) as f32
+                    base.min(REWARD_CAP) as f32
                 }
             }
             RewardKind::HitRate => {
@@ -145,6 +161,16 @@ mod tests {
             let r = shaper().reward(&outcome(50.0, le, evicted, 0));
             assert!(r >= 0.0);
         }
+    }
+
+    #[test]
+    fn eviction_branch_respects_support_cap() {
+        // Latency far below the fast device's minimum service time with a
+        // negligible penalty: both branches must cap at REWARD_CAP.
+        let evicting = shaper().reward(&outcome(0.1, 0.001, 1, 0));
+        let plain = shaper().reward(&outcome(0.1, 0.0, 0, 0));
+        assert_eq!(evicting, REWARD_CAP as f32);
+        assert_eq!(plain, REWARD_CAP as f32);
     }
 
     #[test]

@@ -159,7 +159,10 @@ mod tests {
                     break;
                 }
             }
-            assert!(std::time::Instant::now() < deadline, "trainer never published");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "trainer never published"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         t.shutdown();

@@ -135,7 +135,7 @@ impl HssConfig {
                 .iter()
                 .map(|f| match f {
                     None => u64::MAX,
-                    Some(frac) => ((footprint_pages as f64 * frac).round() as u64).max(0),
+                    Some(frac) => (footprint_pages as f64 * frac).round() as u64,
                 })
                 .collect(),
         };
@@ -175,7 +175,11 @@ mod tests {
 
     #[test]
     fn tri_uses_five_and_ten_percent() {
-        let cfg = HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd());
+        let cfg = HssConfig::tri(
+            DeviceSpec::optane_ssd(),
+            DeviceSpec::tlc_ssd(),
+            DeviceSpec::hdd(),
+        );
         let resolved = cfg.resolved(2_000);
         assert_eq!(resolved.capacity_pages(), &[100, 200, u64::MAX]);
     }
@@ -190,7 +194,8 @@ mod tests {
 
     #[test]
     fn unlimited_for_fast_only_baseline() {
-        let cfg = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd()).with_unlimited_capacities();
+        let cfg = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd())
+            .with_unlimited_capacities();
         let resolved = cfg.resolved(100);
         assert_eq!(resolved.capacity_pages(), &[u64::MAX, u64::MAX]);
     }
@@ -205,6 +210,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one capacity per device")]
     fn capacity_length_validated() {
-        let _ = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd()).with_capacity_pages(vec![1]);
+        let _ = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::hdd())
+            .with_capacity_pages(vec![1]);
     }
 }

@@ -325,7 +325,11 @@ impl Device {
         if sequential {
             self.stats.sequential_hits += 1;
         }
-        let positioning = if sequential { 0.0 } else { self.positioning_us(lpn) };
+        let positioning = if sequential {
+            0.0
+        } else {
+            self.positioning_us(lpn)
+        };
         match op {
             IoOp::Read => {
                 self.spec.read_base_us
@@ -347,13 +351,16 @@ impl Device {
                             + DeviceSpec::transfer_us(pages, self.spec.write_bw_mbps);
                     }
                 } else {
-                    lat = self.spec.write_base_us + DeviceSpec::transfer_us(pages, self.spec.write_bw_mbps);
+                    lat = self.spec.write_base_us
+                        + DeviceSpec::transfer_us(pages, self.spec.write_bw_mbps);
                 }
                 lat += positioning;
                 // Deterministic GC debt model: above the utilization
                 // threshold every written page accrues debt; each
                 // `gc_pages_per_pause` pages of debt costs one stall.
-                if self.spec.kind == DeviceKind::FlashSsd && self.utilization > self.spec.gc_threshold {
+                if self.spec.kind == DeviceKind::FlashSsd
+                    && self.utilization > self.spec.gc_threshold
+                {
                     self.gc_debt_pages += pages;
                     if self.gc_debt_pages >= self.spec.gc_pages_per_pause {
                         self.gc_debt_pages -= self.spec.gc_pages_per_pause;
@@ -387,7 +394,8 @@ impl Device {
         let from = self.last_end_lpn.unwrap_or(0);
         let distance = from.abs_diff(lpn);
         let frac = (distance as f64 / self.spec.span_pages as f64).min(1.0);
-        let seek = self.spec.seek_min_us + (self.spec.seek_us - self.spec.seek_min_us) * frac.sqrt();
+        let seek =
+            self.spec.seek_min_us + (self.spec.seek_us - self.spec.seek_min_us) * frac.sqrt();
         seek + self.spec.rotational_us
     }
 
@@ -417,7 +425,11 @@ mod tests {
         // Random HDD read includes seek+rotation, far above any SSD.
         let mut hdd = Device::new(l);
         let s = hdd.serve(0.0, IoOp::Read, 1_000, 1);
-        assert!(s.service_us > 2_000.0, "HDD random read {} µs", s.service_us);
+        assert!(
+            s.service_us > 2_000.0,
+            "HDD random read {} µs",
+            s.service_us
+        );
     }
 
     #[test]
@@ -470,7 +482,8 @@ mod tests {
         let mut spec = DeviceSpec::tlc_ssd();
         spec.write_buffer_pages = 8;
         let mut d = Device::new(spec);
-        let _ = d.serve(0.0, IoOp::Write, 0, 8); // fill the buffer
+        // Fill the buffer.
+        let _ = d.serve(0.0, IoOp::Write, 0, 8);
         // After a long idle period the buffer has drained.
         let later = d.serve(10_000_000.0, IoOp::Write, 100, 8);
         let expected_buffered = d.spec().buffered_write_us;

@@ -220,7 +220,10 @@ impl StorageManager {
     /// hold the full working set, as in the paper's setups).
     pub fn new(config: &HssConfig) -> Self {
         let capacities = config.capacity_pages().to_vec();
-        assert!(config.devices.len() >= 2, "StorageManager: need at least two devices");
+        assert!(
+            config.devices.len() >= 2,
+            "StorageManager: need at least two devices"
+        );
         assert_eq!(
             *capacities.last().expect("non-empty"),
             u64::MAX,
@@ -323,7 +326,10 @@ impl StorageManager {
     ///
     /// Panics if `target` is out of range.
     pub fn access(&mut self, req: &IoRequest, target: DeviceId) -> AccessOutcome {
-        assert!(target.0 < self.devices.len(), "access: target {target} out of range");
+        assert!(
+            target.0 < self.devices.len(),
+            "access: target {target} out of range"
+        );
         self.seq += 1;
 
         // Closed-loop replay: at most `queue_window` requests outstanding.
@@ -424,7 +430,10 @@ impl StorageManager {
 
         // Migrate pages the policy wants elsewhere; the data is already in
         // host memory from the read, so the cost is one background write.
-        let to_move: Vec<u64> = req.pages().filter(|&p| self.dir.residency(p) != Some(target)).collect();
+        let to_move: Vec<u64> = req
+            .pages()
+            .filter(|&p| self.dir.residency(p) != Some(target))
+            .collect();
         let migrated = to_move.len() as u64;
         if migrated > 0 {
             let _ = self.devices[target.0].serve(completion, IoOp::Write, req.lpn, migrated);
@@ -445,7 +454,8 @@ impl StorageManager {
     /// Serves a write: all pages go directly to `target`; stale copies on
     /// other devices are invalidated by the placement.
     fn serve_write(&mut self, req: &IoRequest, target: DeviceId, arrival: f64) -> (f64, u64) {
-        let svc = self.devices[target.0].serve(arrival, IoOp::Write, req.lpn, req.size_pages as u64);
+        let svc =
+            self.devices[target.0].serve(arrival, IoOp::Write, req.lpn, req.size_pages as u64);
         let mut migrated = 0u64;
         for p in req.pages() {
             match self.dir.residency(p) {
@@ -515,21 +525,34 @@ impl StorageManager {
             let mut reads_done = not_before_us;
             let mut run_start = victims[0];
             let mut run_len = 1u64;
-            let flush = |start: u64, len: u64, devs: &mut Vec<Device>, done: &mut f64, us: &mut f64| {
-                let rd = devs[d].serve(not_before_us, IoOp::Read, start, len);
-                *done = done.max(rd.completion_us);
-                *us += rd.service_us;
-            };
+            let flush =
+                |start: u64, len: u64, devs: &mut Vec<Device>, done: &mut f64, us: &mut f64| {
+                    let rd = devs[d].serve(not_before_us, IoOp::Read, start, len);
+                    *done = done.max(rd.completion_us);
+                    *us += rd.service_us;
+                };
             for &v in &victims[1..] {
                 if v == run_start + run_len {
                     run_len += 1;
                 } else {
-                    flush(run_start, run_len, &mut self.devices, &mut reads_done, &mut read_us);
+                    flush(
+                        run_start,
+                        run_len,
+                        &mut self.devices,
+                        &mut reads_done,
+                        &mut read_us,
+                    );
                     run_start = v;
                     run_len = 1;
                 }
             }
-            flush(run_start, run_len, &mut self.devices, &mut reads_done, &mut read_us);
+            flush(
+                run_start,
+                run_len,
+                &mut self.devices,
+                &mut reads_done,
+                &mut read_us,
+            );
             let wr = self.devices[d + 1].serve_append(reads_done, IoOp::Write, n);
             total_us += read_us + wr.service_us;
             total_pages += n;
@@ -621,8 +644,12 @@ mod tests {
 
     #[test]
     fn eviction_cascades_in_tri_hss() {
-        let cfg = HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd())
-            .with_capacity_pages(vec![1, 1, u64::MAX]);
+        let cfg = HssConfig::tri(
+            DeviceSpec::optane_ssd(),
+            DeviceSpec::tlc_ssd(),
+            DeviceSpec::hdd(),
+        )
+        .with_capacity_pages(vec![1, 1, u64::MAX]);
         let mut m = StorageManager::new(&cfg);
         let _ = m.access(&wr(0, 1, 1), DeviceId(0));
         let _ = m.access(&wr(1, 2, 1), DeviceId(0)); // evicts 1 -> M

@@ -91,12 +91,18 @@ mod tests {
         p.prepare(2, &trace);
         let req = trace.requests()[0];
         let target = {
-            let ctx = PlacementContext { manager: &mgr, seq: 0 };
+            let ctx = PlacementContext {
+                manager: &mgr,
+                seq: 0,
+            };
             p.place(&req, &ctx)
         };
         assert_eq!(target, DeviceId(0));
         let out = mgr.access(&req, target);
-        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: 0,
+        };
         p.feedback(&req, &out, &ctx);
         assert_eq!(p.name(), "always-fast");
     }

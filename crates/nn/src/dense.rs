@@ -49,8 +49,16 @@ impl Dense {
     /// # Panics
     ///
     /// Panics if `in_dim` or `out_dim` is zero.
-    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, act: Activation, rng: &mut R) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "Dense: dimensions must be non-zero");
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "Dense: dimensions must be non-zero"
+        );
         let mut w = vec![0.0; in_dim * out_dim];
         xavier_uniform(&mut w, in_dim, out_dim, rng);
         Dense {
@@ -99,7 +107,11 @@ impl Dense {
     ///
     /// Panics if `x.len() != in_dim`.
     pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.in_dim, "Dense::forward: input length mismatch");
+        assert_eq!(
+            x.len(),
+            self.in_dim,
+            "Dense::forward: input length mismatch"
+        );
         self.cache_x.clear();
         self.cache_x.extend_from_slice(x);
         let mut z = Vec::new();
@@ -130,7 +142,11 @@ impl Dense {
     ///
     /// Panics if `dy.len() != out_dim` or no forward pass was cached.
     pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
-        assert_eq!(dy.len(), self.out_dim, "Dense::backward: delta length mismatch");
+        assert_eq!(
+            dy.len(),
+            self.out_dim,
+            "Dense::backward: delta length mismatch"
+        );
         assert_eq!(
             self.cache_x.len(),
             self.in_dim,
@@ -181,8 +197,14 @@ impl Dense {
     ///
     /// Panics if shapes differ.
     pub fn copy_weights_from(&mut self, other: &Dense) {
-        assert_eq!(self.in_dim, other.in_dim, "copy_weights_from: in_dim mismatch");
-        assert_eq!(self.out_dim, other.out_dim, "copy_weights_from: out_dim mismatch");
+        assert_eq!(
+            self.in_dim, other.in_dim,
+            "copy_weights_from: in_dim mismatch"
+        );
+        assert_eq!(
+            self.out_dim, other.out_dim,
+            "copy_weights_from: out_dim mismatch"
+        );
         self.w.copy_from_slice(&other.w);
         self.b.copy_from_slice(&other.b);
     }
@@ -286,6 +308,9 @@ mod tests {
         };
 
         let h = 1e-3f32;
+        // Indexes both the mutated weights and the saved gradient, so an
+        // iterator over either alone doesn't fit.
+        #[allow(clippy::needless_range_loop)]
         for idx in 0..layer.w.len() {
             let orig = layer.w[idx];
             layer.w[idx] = orig + h;

@@ -45,7 +45,11 @@ pub fn matvec_bias(w: &[f32], b: &[f32], x: &[f32], rows: usize, cols: usize, ou
 ///
 /// Panics on shape mismatch.
 pub fn matvec_transpose(w: &[f32], d: &[f32], rows: usize, cols: usize, out: &mut Vec<f32>) {
-    assert_eq!(w.len(), rows * cols, "matvec_transpose: weight shape mismatch");
+    assert_eq!(
+        w.len(),
+        rows * cols,
+        "matvec_transpose: weight shape mismatch"
+    );
     assert_eq!(d.len(), rows, "matvec_transpose: delta length mismatch");
     out.clear();
     out.resize(cols, 0.0);

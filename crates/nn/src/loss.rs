@@ -60,7 +60,11 @@ pub fn cross_entropy_logits(z: &[f32], t: &[f32]) -> f32 {
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn cross_entropy_logits_grad(z: &[f32], t: &[f32], out: &mut Vec<f32>) {
-    assert_eq!(z.len(), t.len(), "cross_entropy_logits_grad: length mismatch");
+    assert_eq!(
+        z.len(),
+        t.len(),
+        "cross_entropy_logits_grad: length mismatch"
+    );
     assert!(!z.is_empty(), "cross_entropy_logits_grad: empty input");
     softmax(z, out);
     for (o, &ti) in out.iter_mut().zip(t) {
@@ -131,7 +135,8 @@ mod tests {
             zp[i] += h;
             let mut zm = z;
             zm[i] -= h;
-            let numeric = (cross_entropy_logits(&zp, &t) - cross_entropy_logits(&zm, &t)) / (2.0 * h);
+            let numeric =
+                (cross_entropy_logits(&zp, &t) - cross_entropy_logits(&zm, &t)) / (2.0 * h);
             assert!(
                 (numeric - g[i]).abs() < 1e-2,
                 "logit {i}: numeric {numeric} vs analytic {}",

@@ -48,7 +48,11 @@ impl Mlp {
         assert!(dims.len() >= 2, "Mlp: need at least input and output dims");
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
-            let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+            let act = if i + 2 == dims.len() {
+                out_act
+            } else {
+                hidden_act
+            };
             layers.push(Dense::new(dims[i], dims[i + 1], act, rng));
         }
         Mlp { layers }
@@ -61,7 +65,10 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("Mlp has at least one layer").out_dim()
+        self.layers
+            .last()
+            .expect("Mlp has at least one layer")
+            .out_dim()
     }
 
     /// The number of layers.
@@ -202,7 +209,12 @@ mod tests {
 
     #[test]
     fn paper_network_has_780_weights() {
-        let net = Mlp::new(&[6, 20, 30, 2], Activation::Swish, Activation::Linear, &mut rng(0));
+        let net = Mlp::new(
+            &[6, 20, 30, 2],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(0),
+        );
         assert_eq!(net.mac_count(), 780);
         // 780 weights + 52 biases
         assert_eq!(net.num_params(), 832);
@@ -213,15 +225,30 @@ mod tests {
 
     #[test]
     fn infer_matches_forward() {
-        let mut net = Mlp::new(&[4, 8, 3], Activation::Swish, Activation::Linear, &mut rng(1));
+        let mut net = Mlp::new(
+            &[4, 8, 3],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(1),
+        );
         let x = [0.2, -0.4, 0.6, 0.8];
         assert_eq!(net.forward(&x), net.infer(&x));
     }
 
     #[test]
     fn copy_weights_synchronizes_outputs() {
-        let train = Mlp::new(&[4, 8, 2], Activation::Swish, Activation::Linear, &mut rng(2));
-        let mut infer = Mlp::new(&[4, 8, 2], Activation::Swish, Activation::Linear, &mut rng(3));
+        let train = Mlp::new(
+            &[4, 8, 2],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(2),
+        );
+        let mut infer = Mlp::new(
+            &[4, 8, 2],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(3),
+        );
         let x = [0.5, 0.5, -0.5, -0.5];
         assert_ne!(train.infer(&x), infer.infer(&x));
         infer.copy_weights_from(&train);
@@ -230,7 +257,12 @@ mod tests {
 
     #[test]
     fn sgd_training_reduces_loss() {
-        let mut net = Mlp::new(&[2, 16, 1], Activation::Tanh, Activation::Linear, &mut rng(4));
+        let mut net = Mlp::new(
+            &[2, 16, 1],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng(4),
+        );
         let mut opt = Sgd::new(0.05);
         // Learn XOR-ish continuous function f(a, b) = a * b.
         let data: Vec<([f32; 2], f32)> = vec![
@@ -259,18 +291,31 @@ mod tests {
             net.apply_grads(&mut opt, 1.0 / data.len() as f32);
         }
         let after = loss_of(&net);
-        assert!(after < before * 0.2, "loss did not drop: {before} -> {after}");
+        assert!(
+            after < before * 0.2,
+            "loss did not drop: {before} -> {after}"
+        );
     }
 
     #[test]
     fn flat_params_length_matches() {
-        let net = Mlp::new(&[3, 5, 2], Activation::Relu, Activation::Linear, &mut rng(5));
+        let net = Mlp::new(
+            &[3, 5, 2],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(5),
+        );
         assert_eq!(net.flat_params().len(), net.num_params());
     }
 
     #[test]
     fn whole_network_gradient_check() {
-        let mut net = Mlp::new(&[3, 6, 4, 2], Activation::Swish, Activation::Linear, &mut rng(6));
+        let mut net = Mlp::new(
+            &[3, 6, 4, 2],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(6),
+        );
         let x = [0.4, -0.7, 0.2];
         let y = net.forward(&x);
         let dy: Vec<f32> = y.iter().map(|v| 2.0 * v).collect();

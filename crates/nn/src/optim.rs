@@ -48,7 +48,10 @@ impl Sgd {
     ///
     /// Panics if `lr` is not finite and positive.
     pub fn new(lr: f32) -> Self {
-        assert!(lr.is_finite() && lr > 0.0, "Sgd: learning rate must be positive");
+        assert!(
+            lr.is_finite() && lr > 0.0,
+            "Sgd: learning rate must be positive"
+        );
         Sgd { lr }
     }
 }
@@ -66,7 +69,10 @@ impl Optimizer for Sgd {
     }
 
     fn set_learning_rate(&mut self, lr: f32) {
-        assert!(lr.is_finite() && lr > 0.0, "Sgd: learning rate must be positive");
+        assert!(
+            lr.is_finite() && lr > 0.0,
+            "Sgd: learning rate must be positive"
+        );
         self.lr = lr;
     }
 }
@@ -109,7 +115,10 @@ impl Adam {
     ///
     /// Panics if `lr` is not positive or betas are outside `[0, 1)`.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
-        assert!(lr.is_finite() && lr > 0.0, "Adam: learning rate must be positive");
+        assert!(
+            lr.is_finite() && lr > 0.0,
+            "Adam: learning rate must be positive"
+        );
         assert!((0.0..1.0).contains(&beta1), "Adam: beta1 must be in [0, 1)");
         assert!((0.0..1.0).contains(&beta2), "Adam: beta2 must be in [0, 1)");
         Adam {
@@ -152,7 +161,10 @@ impl Optimizer for Adam {
     }
 
     fn set_learning_rate(&mut self, lr: f32) {
-        assert!(lr.is_finite() && lr > 0.0, "Adam: learning rate must be positive");
+        assert!(
+            lr.is_finite() && lr > 0.0,
+            "Adam: learning rate must be positive"
+        );
         self.lr = lr;
     }
 }

@@ -49,7 +49,12 @@ impl Rnn {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        hidden_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
         assert!(
             in_dim > 0 && hidden_dim > 0 && out_dim > 0,
             "Rnn: dimensions must be non-zero"
@@ -109,7 +114,14 @@ impl Rnn {
         let (hs, _zs) = self.run(xs);
         let h_last = hs.last().expect("run always yields h_0");
         let mut y = Vec::new();
-        linalg::matvec_bias(&self.why, &self.by, h_last, self.out_dim, self.hidden_dim, &mut y);
+        linalg::matvec_bias(
+            &self.why,
+            &self.by,
+            h_last,
+            self.out_dim,
+            self.hidden_dim,
+            &mut y,
+        );
         y
     }
 
@@ -123,7 +135,14 @@ impl Rnn {
         let mut zh = Vec::new();
         for x in xs {
             assert_eq!(x.len(), self.in_dim, "Rnn: input length mismatch");
-            linalg::matvec_bias(&self.wxh, &self.bh, x, self.hidden_dim, self.in_dim, &mut zx);
+            linalg::matvec_bias(
+                &self.wxh,
+                &self.bh,
+                x,
+                self.hidden_dim,
+                self.in_dim,
+                &mut zx,
+            );
             let zero_bias = vec![0.0; self.hidden_dim];
             linalg::matvec_bias(
                 &self.whh,
@@ -151,12 +170,23 @@ impl Rnn {
     /// Panics if `target.len() != out_dim`, the sequence is empty, or any
     /// step's input length differs from `in_dim`.
     pub fn train_step(&mut self, xs: &[Vec<f32>], target: &[f32], lr: f32) -> f32 {
-        assert_eq!(target.len(), self.out_dim, "Rnn::train_step: target length mismatch");
+        assert_eq!(
+            target.len(),
+            self.out_dim,
+            "Rnn::train_step: target length mismatch"
+        );
         assert!(!xs.is_empty(), "Rnn::train_step: empty sequence");
         let (hs, _zs) = self.run(xs);
         let h_last = hs.last().expect("hs non-empty");
         let mut y = Vec::new();
-        linalg::matvec_bias(&self.why, &self.by, h_last, self.out_dim, self.hidden_dim, &mut y);
+        linalg::matvec_bias(
+            &self.why,
+            &self.by,
+            h_last,
+            self.out_dim,
+            self.hidden_dim,
+            &mut y,
+        );
         let loss_val = loss::cross_entropy_logits(&y, target);
 
         // Gradient buffers.

@@ -200,7 +200,10 @@ mod tests {
 
     fn run_one(p: &mut Archivist, mgr: &mut StorageManager, req: IoRequest) -> DeviceId {
         let target = {
-            let ctx = PlacementContext { manager: mgr, seq: 0 };
+            let ctx = PlacementContext {
+                manager: mgr,
+                seq: 0,
+            };
             p.place(&req, &ctx)
         };
         let _ = mgr.access(&req, target);
@@ -254,7 +257,11 @@ mod tests {
         // Third epoch: the classifier should send the hammered page fast
         // and the cold streaming page slow.
         let hot = run_one(&mut p, &mut mgr, IoRequest::new(ts, 0, 1, IoOp::Write));
-        let cold = run_one(&mut p, &mut mgr, IoRequest::new(ts + 1, 50_000, 8, IoOp::Read));
+        let cold = run_one(
+            &mut p,
+            &mut mgr,
+            IoRequest::new(ts + 1, 50_000, 8, IoOp::Read),
+        );
         assert_eq!(hot, DeviceId(0), "hot page misclassified");
         assert_eq!(cold, DeviceId(1), "cold page misclassified");
     }

@@ -88,7 +88,10 @@ mod tests {
     }
 
     fn place(p: &mut Cde, mgr: &StorageManager, req: &IoRequest) -> DeviceId {
-        let ctx = PlacementContext { manager: mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: mgr,
+            seq: 0,
+        };
         p.place(req, &ctx)
     }
 

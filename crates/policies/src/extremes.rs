@@ -61,7 +61,10 @@ mod tests {
         let mgr = ctx_manager();
         let mut p = SlowOnly;
         let req = IoRequest::new(0, 0, 1, IoOp::Write);
-        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: 0,
+        };
         assert_eq!(p.place(&req, &ctx), DeviceId(1));
     }
 
@@ -70,7 +73,10 @@ mod tests {
         let mgr = ctx_manager();
         let mut p = FastOnly;
         let req = IoRequest::new(0, 0, 1, IoOp::Read);
-        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: 0,
+        };
         assert_eq!(p.place(&req, &ctx), DeviceId(0));
     }
 }

@@ -113,7 +113,10 @@ mod tests {
     }
 
     fn place(p: &mut Hps, mgr: &StorageManager, req: &IoRequest) -> DeviceId {
-        let ctx = PlacementContext { manager: mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: mgr,
+            seq: 0,
+        };
         p.place(req, &ctx)
     }
 

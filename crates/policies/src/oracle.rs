@@ -14,7 +14,9 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use sibyl_hss::{DeviceId, NextUseIndex, OracleVictim, PlacementContext, PlacementPolicy, VictimPolicy};
+use sibyl_hss::{
+    DeviceId, NextUseIndex, OracleVictim, PlacementContext, PlacementPolicy, VictimPolicy,
+};
 use sibyl_trace::{IoRequest, Trace};
 
 /// Tuning for [`Oracle`].
@@ -85,7 +87,10 @@ impl PlacementPolicy for Oracle {
 
     fn victim_policy(&self) -> Option<Box<dyn VictimPolicy + Send>> {
         let future = self.future.as_ref()?;
-        Some(Box::new(OracleVictim::new(self.num_devices.max(2), Arc::clone(future))))
+        Some(Box::new(OracleVictim::new(
+            self.num_devices.max(2),
+            Arc::clone(future),
+        )))
     }
 
     fn place(&mut self, req: &IoRequest, ctx: &PlacementContext<'_>) -> DeviceId {
@@ -152,9 +157,15 @@ mod tests {
         let mut o = Oracle::default();
         o.prepare(2, &t);
         let mgr = manager(100);
-        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: 0,
+        };
         assert_eq!(o.place(&t.requests()[0], &ctx), DeviceId(0));
-        let ctx = PlacementContext { manager: &mgr, seq: 2 };
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: 2,
+        };
         assert_eq!(o.place(&t.requests()[2], &ctx), DeviceId(1));
     }
 
@@ -169,12 +180,21 @@ mod tests {
         let mut o = Oracle::default();
         o.prepare(2, &t);
         let mgr = manager(10);
-        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: 0,
+        };
         assert_eq!(o.place(&t.requests()[0], &ctx), DeviceId(1));
         // With a generous horizon it flips to fast.
-        let mut o2 = Oracle::new(OracleConfig { horizon_scale: 10.0, write_horizon_scale: 10.0 });
+        let mut o2 = Oracle::new(OracleConfig {
+            horizon_scale: 10.0,
+            write_horizon_scale: 10.0,
+        });
         o2.prepare(2, &t);
-        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: 0,
+        };
         assert_eq!(o2.place(&t.requests()[0], &ctx), DeviceId(0));
     }
 
@@ -182,7 +202,10 @@ mod tests {
     fn provides_belady_victim_policy_after_prepare() {
         let t = trace(&[1, 2, 1]);
         let mut o = Oracle::default();
-        assert!(o.victim_policy().is_none(), "no victim policy before prepare");
+        assert!(
+            o.victim_policy().is_none(),
+            "no victim policy before prepare"
+        );
         o.prepare(2, &t);
         assert!(o.victim_policy().is_some());
     }
@@ -192,7 +215,10 @@ mod tests {
     fn place_without_prepare_panics() {
         let mut o = Oracle::default();
         let mgr = manager(10);
-        let ctx = PlacementContext { manager: &mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: 0,
+        };
         let req = IoRequest::new(0, 0, 1, IoOp::Read);
         let _ = o.place(&req, &ctx);
     }

@@ -142,7 +142,10 @@ impl RnnHss {
     ///
     /// Panics if `history_windows` is zero.
     pub fn new(config: RnnHssConfig) -> Self {
-        assert!(config.history_windows > 0, "RnnHss: history_windows must be >= 1");
+        assert!(
+            config.history_windows > 0,
+            "RnnHss: history_windows must be >= 1"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let rnn = Rnn::new(2, config.hidden_dim, 2, &mut rng);
         RnnHss {
@@ -188,7 +191,11 @@ impl RnnHss {
         examples.shuffle(&mut self.rng);
         examples.truncate(self.config.max_examples);
         let (hot, cold): (Vec<_>, Vec<_>) = examples.iter().cloned().partition(|(_, h)| *h);
-        let (minority, majority) = if hot.len() < cold.len() { (hot, cold) } else { (cold, hot) };
+        let (minority, majority) = if hot.len() < cold.len() {
+            (hot, cold)
+        } else {
+            (cold, hot)
+        };
         if !minority.is_empty() {
             let deficit = majority.len().saturating_sub(minority.len());
             for i in 0..deficit {
@@ -267,7 +274,10 @@ mod tests {
 
     fn run_one(p: &mut RnnHss, mgr: &mut StorageManager, req: IoRequest) -> DeviceId {
         let target = {
-            let ctx = PlacementContext { manager: mgr, seq: 0 };
+            let ctx = PlacementContext {
+                manager: mgr,
+                seq: 0,
+            };
             p.place(&req, &ctx)
         };
         let _ = mgr.access(&req, target);
@@ -312,7 +322,11 @@ mod tests {
             ts += 1;
         }
         let hot = run_one(&mut p, &mut mgr, IoRequest::new(ts, 0, 1, IoOp::Write));
-        let cold = run_one(&mut p, &mut mgr, IoRequest::new(ts + 1, 99_999, 1, IoOp::Read));
+        let cold = run_one(
+            &mut p,
+            &mut mgr,
+            IoRequest::new(ts + 1, 99_999, 1, IoOp::Read),
+        );
         assert_eq!(hot, DeviceId(0), "hot page should go fast");
         assert_eq!(cold, DeviceId(1), "cold page should go slow");
     }

@@ -89,13 +89,20 @@ mod tests {
     use sibyl_trace::IoOp;
 
     fn tri_manager() -> StorageManager {
-        let cfg = HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd())
-            .with_capacity_pages(vec![64, 128, u64::MAX]);
+        let cfg = HssConfig::tri(
+            DeviceSpec::optane_ssd(),
+            DeviceSpec::tlc_ssd(),
+            DeviceSpec::hdd(),
+        )
+        .with_capacity_pages(vec![64, 128, u64::MAX]);
         StorageManager::new(&cfg)
     }
 
     fn place(p: &mut TriHybridHeuristic, mgr: &StorageManager, req: &IoRequest) -> DeviceId {
-        let ctx = PlacementContext { manager: mgr, seq: 0 };
+        let ctx = PlacementContext {
+            manager: mgr,
+            seq: 0,
+        };
         p.place(req, &ctx)
     }
 

@@ -79,7 +79,10 @@ impl Experiment {
     ///
     /// Panics if `scale` is not positive and finite.
     pub fn with_time_scale(mut self, scale: f64) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "time scale must be positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time scale must be positive"
+        );
         self.time_scale = scale;
         self
     }
@@ -123,7 +126,11 @@ impl Experiment {
         self.run_boxed(policy, &config)
     }
 
-    fn run_boxed(&self, policy: &mut dyn PlacementPolicy, config: &HssConfig) -> Result<Outcome, SimError> {
+    fn run_boxed(
+        &self,
+        policy: &mut dyn PlacementPolicy,
+        config: &HssConfig,
+    ) -> Result<Outcome, SimError> {
         if self.trace.is_empty() {
             return Err(SimError::EmptyTrace);
         }
@@ -176,12 +183,16 @@ impl SuiteResult {
     /// Average latency of outcome `i` normalized to Fast-Only (the
     /// paper's y-axis in Figs. 2, 9, 11, 12, 15, 16).
     pub fn normalized_latency(&self, i: usize) -> f64 {
-        self.outcomes[i].metrics.normalized_latency(&self.fast_only.metrics)
+        self.outcomes[i]
+            .metrics
+            .normalized_latency(&self.fast_only.metrics)
     }
 
     /// IOPS of outcome `i` normalized to Fast-Only (Fig. 10).
     pub fn normalized_iops(&self, i: usize) -> f64 {
-        self.outcomes[i].metrics.normalized_iops(&self.fast_only.metrics)
+        self.outcomes[i]
+            .metrics
+            .normalized_iops(&self.fast_only.metrics)
     }
 
     /// Looks up an outcome by policy name.
@@ -195,7 +206,11 @@ impl SuiteResult {
 /// # Errors
 ///
 /// Returns [`SimError::EmptyTrace`] for an empty trace.
-pub fn run_suite(hss: &HssConfig, trace: &Trace, policies: &[PolicyKind]) -> Result<SuiteResult, SimError> {
+pub fn run_suite(
+    hss: &HssConfig,
+    trace: &Trace,
+    policies: &[PolicyKind],
+) -> Result<SuiteResult, SimError> {
     let exp = Experiment::new(hss.clone(), trace.clone());
     let fast_only = exp.run(PolicyKind::FastOnly)?;
     let mut outcomes = Vec::with_capacity(policies.len());
@@ -223,7 +238,10 @@ mod tests {
     fn empty_trace_is_an_error() {
         let exp = Experiment::new(hm(), Trace::from_requests("e", vec![]));
         assert_eq!(exp.run(PolicyKind::SlowOnly), Err(SimError::EmptyTrace));
-        assert_eq!(SimError::EmptyTrace.to_string(), "trace contains no requests");
+        assert_eq!(
+            SimError::EmptyTrace.to_string(),
+            "trace contains no requests"
+        );
     }
 
     #[test]
@@ -245,6 +263,28 @@ mod tests {
         assert!(suite.normalized_iops(0) <= 1.0);
         assert!(suite.by_name("Slow-Only").is_some());
         assert!(suite.by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn suite_outcomes_align_with_caller_policy_list() {
+        // Regression: the Fast-Only baseline lives in `fast_only`, never
+        // in `outcomes`, so `normalized_latency(i)` must line up with the
+        // caller's policy list — including when the caller asks for
+        // Fast-Only itself, which then normalizes to exactly 1.
+        let trace = msrc::generate(msrc::Workload::Rsrch0, 2_000, 5);
+        let policies = [PolicyKind::SlowOnly, PolicyKind::FastOnly, PolicyKind::Cde];
+        let suite = run_suite(&hm(), &trace, &policies).unwrap();
+        assert_eq!(suite.outcomes.len(), policies.len());
+        assert_eq!(suite.fast_only.policy, "Fast-Only");
+        for (i, p) in policies.iter().enumerate() {
+            assert_eq!(suite.outcomes[i].policy, p.name());
+        }
+        let fast_norm = suite.normalized_latency(1);
+        assert!(
+            (fast_norm - 1.0).abs() < 1e-9,
+            "Fast-Only vs the Fast-Only baseline must be 1.0, got {fast_norm}"
+        );
+        assert!(suite.normalized_latency(0) > 1.0);
     }
 
     #[test]

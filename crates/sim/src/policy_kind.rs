@@ -2,9 +2,7 @@
 
 use sibyl_core::{SibylAgent, SibylConfig};
 use sibyl_hss::PlacementPolicy;
-use sibyl_policies::{
-    Archivist, Cde, FastOnly, Hps, Oracle, RnnHss, SlowOnly, TriHybridHeuristic,
-};
+use sibyl_policies::{Archivist, Cde, FastOnly, Hps, Oracle, RnnHss, SlowOnly, TriHybridHeuristic};
 
 /// A buildable description of a placement policy — what the figures'
 /// legends enumerate.
@@ -34,7 +32,7 @@ pub enum PolicyKind {
 impl PolicyKind {
     /// Sibyl with the paper's default hyper-parameters (Table 2).
     pub fn sibyl() -> Self {
-        PolicyKind::Sibyl(Box::new(SibylConfig::default()))
+        PolicyKind::Sibyl(Box::default())
     }
 
     /// Sibyl with an explicit configuration.

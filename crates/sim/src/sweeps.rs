@@ -108,8 +108,7 @@ mod tests {
     #[test]
     fn larger_fast_capacity_does_not_hurt_cde() {
         let trace = msrc::generate(msrc::Workload::Prxy1, 3_000, 6);
-        let pts =
-            fast_capacity_sweep(&hm(), &trace, &[PolicyKind::Cde], &[0.02, 0.9]).unwrap();
+        let pts = fast_capacity_sweep(&hm(), &trace, &[PolicyKind::Cde], &[0.02, 0.9]).unwrap();
         let small = pts[0].normalized_latency[0].1;
         let large = pts[1].normalized_latency[0].1;
         assert!(

@@ -33,7 +33,12 @@ pub enum Unseen {
 
 impl Unseen {
     /// The four FileBench workloads of Fig. 11, in the paper's order.
-    pub const FILEBENCH: [Unseen; 4] = [Unseen::Fileserver, Unseen::NtrxRw, Unseen::OltpRw, Unseen::Varmail];
+    pub const FILEBENCH: [Unseen; 4] = [
+        Unseen::Fileserver,
+        Unseen::NtrxRw,
+        Unseen::OltpRw,
+        Unseen::Varmail,
+    ];
 
     /// The workload's display name.
     pub fn name(self) -> &'static str {
@@ -117,7 +122,11 @@ impl std::fmt::Display for Unseen {
 ///
 /// Panics if `n == 0`.
 pub fn generate(workload: Unseen, n: usize, seed: u64) -> Trace {
-    generate_spec(&workload.spec(), n, seed.wrapping_add(0x0F11E * (workload as u64 + 1)))
+    generate_spec(
+        &workload.spec(),
+        n,
+        seed.wrapping_add(0x0F11E * (workload as u64 + 1)),
+    )
 }
 
 #[cfg(test)]

@@ -34,7 +34,10 @@ use crate::trace::Trace;
 ///
 /// Panics if `components` is empty.
 pub fn combine(name: impl Into<String>, components: &[Trace], seed: u64) -> Trace {
-    assert!(!components.is_empty(), "mix::combine: need at least one component");
+    assert!(
+        !components.is_empty(),
+        "mix::combine: need at least one component"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4d49_5845_u64); // "MIXE"
     let max_duration = components.iter().map(Trace::duration_us).max().unwrap_or(0);
     let mut requests: Vec<IoRequest> = Vec::with_capacity(components.iter().map(Trace::len).sum());
@@ -73,7 +76,14 @@ pub enum Mix {
 
 impl Mix {
     /// All six mixes in Table 5 order.
-    pub const ALL: [Mix; 6] = [Mix::Mix1, Mix::Mix2, Mix::Mix3, Mix::Mix4, Mix::Mix5, Mix::Mix6];
+    pub const ALL: [Mix; 6] = [
+        Mix::Mix1,
+        Mix::Mix2,
+        Mix::Mix3,
+        Mix::Mix4,
+        Mix::Mix5,
+        Mix::Mix6,
+    ];
 
     /// The mix's name (`"mix1"`…`"mix6"`).
     pub fn name(self) -> &'static str {
@@ -91,13 +101,25 @@ impl Mix {
     pub fn components(self) -> Vec<Component> {
         match self {
             // Both prxy_0 and ntrx_rw are write-intensive.
-            Mix::Mix1 => vec![Component::Msrc(Workload::Prxy0), Component::Unseen(Unseen::NtrxRw)],
+            Mix::Mix1 => vec![
+                Component::Msrc(Workload::Prxy0),
+                Component::Unseen(Unseen::NtrxRw),
+            ],
             // rsrch_0 write-intensive, oltp_rw read-intensive.
-            Mix::Mix2 => vec![Component::Msrc(Workload::Rsrch0), Component::Unseen(Unseen::OltpRw)],
+            Mix::Mix2 => vec![
+                Component::Msrc(Workload::Rsrch0),
+                Component::Unseen(Unseen::OltpRw),
+            ],
             // Both read-intensive.
-            Mix::Mix3 => vec![Component::Msrc(Workload::Proj3), Component::Unseen(Unseen::YcsbC)],
+            Mix::Mix3 => vec![
+                Component::Msrc(Workload::Proj3),
+                Component::Unseen(Unseen::YcsbC),
+            ],
             // Both nearly balanced.
-            Mix::Mix4 => vec![Component::Msrc(Workload::Src10), Component::Unseen(Unseen::Fileserver)],
+            Mix::Mix4 => vec![
+                Component::Msrc(Workload::Src10),
+                Component::Unseen(Unseen::Fileserver),
+            ],
             // Write-intensive + read-intensive + balanced.
             Mix::Mix5 => vec![
                 Component::Msrc(Workload::Prxy0),
@@ -189,7 +211,10 @@ mod tests {
                 beyond += 1;
             }
         }
-        assert_eq!(beyond, 1_000, "every b-request must be remapped past a's region");
+        assert_eq!(
+            beyond, 1_000,
+            "every b-request must be remapped past a's region"
+        );
     }
 
     #[test]

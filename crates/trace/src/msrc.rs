@@ -178,7 +178,12 @@ mod tests {
 
     #[test]
     fn write_fractions_match_table4() {
-        for w in [Workload::Hm1, Workload::Wdev2, Workload::Prxy0, Workload::Web1] {
+        for w in [
+            Workload::Hm1,
+            Workload::Wdev2,
+            Workload::Prxy0,
+            Workload::Web1,
+        ] {
             let t = generate(w, 10_000, 7);
             let st = TraceStats::measure(&t);
             let target = w.spec().write_fraction;

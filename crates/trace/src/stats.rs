@@ -74,7 +74,11 @@ impl TraceStats {
         TraceStats {
             name: trace.name().to_string(),
             total_requests: total,
-            write_fraction: if total == 0 { 0.0 } else { writes as f64 / total as f64 },
+            write_fraction: if total == 0 {
+                0.0
+            } else {
+                writes as f64 / total as f64
+            },
             avg_request_size_kib: if total == 0 {
                 0.0
             } else {

@@ -94,8 +94,14 @@ impl SyntheticSpec {
             (0.0..=1.0).contains(&self.write_fraction),
             "write_fraction must be in [0, 1]"
         );
-        assert!(self.avg_request_size_kib >= 4.0, "avg_request_size_kib must be >= 4");
-        assert!(self.avg_access_count >= 1.0, "avg_access_count must be >= 1");
+        assert!(
+            self.avg_request_size_kib >= 4.0,
+            "avg_request_size_kib must be >= 4"
+        );
+        assert!(
+            self.avg_access_count >= 1.0,
+            "avg_access_count must be >= 1"
+        );
         assert!(self.zipf_theta >= 0.0, "zipf_theta must be >= 0");
         assert!(
             (0.0..=0.95).contains(&self.seq_probability),
@@ -135,7 +141,12 @@ pub fn generate_spec(spec: &SyntheticSpec, n: usize, seed: u64) -> Trace {
         let correction = (measured / probe_target).clamp(0.2, 8.0);
         footprint *= correction;
     }
-    generate_raw(spec, n, seed, footprint.max(4.0 * SEGMENT_PAGES as f64) as u64)
+    generate_raw(
+        spec,
+        n,
+        seed,
+        footprint.max(4.0 * SEGMENT_PAGES as f64) as u64,
+    )
 }
 
 /// Core generation loop over a fixed footprint.

@@ -28,7 +28,10 @@ impl Trace {
     /// Builds a trace from pre-sorted requests, sorting defensively by
     /// timestamp if needed (stable, preserving issue order at equal times).
     pub fn from_requests(name: impl Into<String>, mut requests: Vec<IoRequest>) -> Self {
-        if !requests.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us) {
+        if !requests
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us)
+        {
             requests.sort_by_key(|r| r.timestamp_us);
         }
         Trace {
@@ -75,7 +78,11 @@ impl Trace {
     /// The largest logical page number referenced plus one (address-space
     /// size needed to replay the trace), or 0 for an empty trace.
     pub fn address_space_pages(&self) -> u64 {
-        self.requests.iter().map(|r| r.last_lpn() + 1).max().unwrap_or(0)
+        self.requests
+            .iter()
+            .map(|r| r.last_lpn() + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Duration between the first and last request timestamps, in
@@ -195,7 +202,10 @@ mod tests {
     fn unsorted_input_is_sorted() {
         let t = Trace::from_requests(
             "x",
-            vec![IoRequest::new(10, 1, 1, IoOp::Read), IoRequest::new(0, 2, 1, IoOp::Read)],
+            vec![
+                IoRequest::new(10, 1, 1, IoOp::Read),
+                IoRequest::new(0, 2, 1, IoOp::Read),
+            ],
         );
         assert_eq!(t.requests()[0].timestamp_us, 0);
     }

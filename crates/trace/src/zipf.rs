@@ -39,7 +39,10 @@ impl Zipf {
     /// Panics if `n == 0` or `theta` is negative or not finite.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "Zipf: n must be positive");
-        assert!(theta.is_finite() && theta >= 0.0, "Zipf: theta must be >= 0");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf: theta must be >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 0..n {
@@ -115,8 +118,14 @@ mod tests {
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[9] * 3, "head should dominate: {counts:?}");
-        assert!(counts.iter().all(|&c| c > 0), "all ranks reachable: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 3,
+            "head should dominate: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "all ranks reachable: {counts:?}"
+        );
         // Empirical head frequency close to pmf(0).
         let freq0 = counts[0] as f64 / 20_000.0;
         assert!((freq0 - z.pmf(0)).abs() < 0.02);

@@ -45,11 +45,17 @@ fn main() {
     let mut lat = 0.0f64;
     for (seq, req) in spliced.iter().enumerate() {
         let target = {
-            let ctx = PlacementContext { manager: &mgr, seq: seq as u64 };
+            let ctx = PlacementContext {
+                manager: &mgr,
+                seq: seq as u64,
+            };
             agent.place(req, &ctx)
         };
         let out = mgr.access(req, target);
-        let ctx = PlacementContext { manager: &mgr, seq: seq as u64 };
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: seq as u64,
+        };
         agent.feedback(req, &out, &ctx);
         if target.0 == 0 {
             fast += 1;
@@ -57,7 +63,11 @@ fn main() {
         lat += out.latency_us;
         if (seq + 1) % window == 0 {
             let w = (seq + 1) / window;
-            let marker = if w == 6 { "  <- phase change region" } else { "" };
+            let marker = if w == 6 {
+                "  <- phase change region"
+            } else {
+                ""
+            };
             println!(
                 "{:>8} {:>10.2} {:>12.1}{marker}",
                 w,
@@ -68,5 +78,7 @@ fn main() {
             lat = 0.0;
         }
     }
-    println!("\nSibyl's fast-device preference shifts with the workload — no retuning, no redeploy.");
+    println!(
+        "\nSibyl's fast-device preference shifts with the workload — no retuning, no redeploy."
+    );
 }

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
 
     println!("workload: {} ({} requests)", trace.name(), trace.len());
-    println!("running {} policies...\n", PolicyKind::standard_suite().len());
+    println!(
+        "running {} policies...\n",
+        PolicyKind::standard_suite().len()
+    );
 
     let suite = run_suite(&hss, &trace, &PolicyKind::standard_suite())?;
 

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         DeviceSpec::hdd(),
     );
 
-    println!("tri-hybrid H&M&L on {} ({} requests)", trace.name(), trace.len());
+    println!(
+        "tri-hybrid H&M&L on {} ({} requests)",
+        trace.name(),
+        trace.len()
+    );
     let suite = run_suite(
         &hss,
         &trace,

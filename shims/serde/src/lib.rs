@@ -1,0 +1,27 @@
+//! Offline shim of the [`serde`](https://crates.io/crates/serde) API
+//! surface used by the Sibyl workspace.
+//!
+//! The workspace only uses serde as derive markers and trait bounds —
+//! nothing serializes through a real `Serializer` yet. This shim keeps
+//! the annotations compiling offline: the traits are blanket-implemented
+//! for all types and the derives (re-exported from the sibling
+//! `serde_derive` shim) expand to nothing. Swapping the path dependency
+//! for the real crate requires no source changes.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -27,7 +27,11 @@ fn extremes_bound_every_policy() {
     .unwrap();
     for i in 0..suite.outcomes.len() {
         let norm = suite.normalized_latency(i);
-        assert!(norm >= 0.95, "{} beat Fast-Only: {norm}", suite.outcomes[i].policy);
+        assert!(
+            norm >= 0.95,
+            "{} beat Fast-Only: {norm}",
+            suite.outcomes[i].policy
+        );
     }
 }
 
@@ -62,7 +66,9 @@ fn sibyl_beats_slow_only_on_hot_random_workload() {
 #[test]
 fn sibyl_uses_the_fast_device() {
     let trace = msrc::generate(msrc::Workload::Prxy0, 15_000, 4);
-    let out = Experiment::new(hm(), trace).run(PolicyKind::sibyl()).unwrap();
+    let out = Experiment::new(hm(), trace)
+        .run(PolicyKind::sibyl())
+        .unwrap();
     assert!(
         out.metrics.fast_placement_fraction > 0.2,
         "hot write workload should earn substantial fast placement: {}",
@@ -87,7 +93,9 @@ fn background_training_mode_completes_and_is_reasonable() {
         training_mode: TrainingMode::Background,
         ..Default::default()
     };
-    let out = Experiment::new(hm(), trace).run(PolicyKind::sibyl_with(cfg)).unwrap();
+    let out = Experiment::new(hm(), trace)
+        .run(PolicyKind::sibyl_with(cfg))
+        .unwrap();
     assert_eq!(out.metrics.total_requests, 10_000);
     assert!(out.metrics.avg_latency_us > 0.0);
 }
@@ -95,7 +103,11 @@ fn background_training_mode_completes_and_is_reasonable() {
 #[test]
 fn tri_hybrid_runs_all_policies_and_sibyl_extends() {
     let trace = msrc::generate(msrc::Workload::Prxy1, 12_000, 7);
-    let cfg = HssConfig::tri(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd(), DeviceSpec::hdd());
+    let cfg = HssConfig::tri(
+        DeviceSpec::optane_ssd(),
+        DeviceSpec::tlc_ssd(),
+        DeviceSpec::hdd(),
+    );
     let suite = run_suite(
         &cfg,
         &trace,
@@ -153,7 +165,9 @@ fn eviction_accounting_is_consistent() {
     // the overflow volume.
     let trace = msrc::generate(msrc::Workload::Mds0, 6_000, 11);
     let cfg = hm().with_fast_capacity_fraction(0.02);
-    let out = Experiment::new(cfg, trace.clone()).run(PolicyKind::Cde).unwrap();
+    let out = Experiment::new(cfg, trace.clone())
+        .run(PolicyKind::Cde)
+        .unwrap();
     if out.metrics.eviction_fraction > 0.0 {
         assert!(out.metrics.evicted_pages > 0);
     }

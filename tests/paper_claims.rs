@@ -17,7 +17,11 @@ fn hl() -> HssConfig {
 
 #[test]
 fn table4_statistics_track_published_targets() {
-    for wl in [msrc::Workload::Hm1, msrc::Workload::Prxy0, msrc::Workload::Stg1] {
+    for wl in [
+        msrc::Workload::Hm1,
+        msrc::Workload::Prxy0,
+        msrc::Workload::Stg1,
+    ] {
         let spec = wl.spec();
         let st = TraceStats::measure(&msrc::generate(wl, 20_000, 42));
         assert!(
@@ -49,12 +53,20 @@ fn cde_is_best_baseline_in_hl_on_hot_workloads() {
     // §9: with a large inter-device gap, CDE's aggressive placement wins
     // despite its eviction volume.
     let trace = msrc::generate(msrc::Workload::Rsrch0, 15_000, 1);
-    let suite = run_suite(&hl(), &trace, &[PolicyKind::Cde, PolicyKind::Hps, PolicyKind::SlowOnly]).unwrap();
+    let suite = run_suite(
+        &hl(),
+        &trace,
+        &[PolicyKind::Cde, PolicyKind::Hps, PolicyKind::SlowOnly],
+    )
+    .unwrap();
     let cde = suite.normalized_latency(0);
     let hps = suite.normalized_latency(1);
     let slow = suite.normalized_latency(2);
     assert!(cde < hps, "CDE {cde:.1} should beat HPS {hps:.1} in H&L");
-    assert!(cde < slow, "CDE {cde:.1} should beat Slow-Only {slow:.1} in H&L");
+    assert!(
+        cde < slow,
+        "CDE {cde:.1} should beat Slow-Only {slow:.1} in H&L"
+    );
 }
 
 #[test]
@@ -66,12 +78,22 @@ fn sibyl_preference_differs_across_device_configurations() {
     // pins the documented reproduction behaviour: the agent reacts to
     // the device configuration at all, and uses the fast tier in both.
     let trace = msrc::generate(msrc::Workload::Rsrch0, 20_000, 2);
-    let hm_out = Experiment::new(hm(), trace.clone()).run(PolicyKind::sibyl()).unwrap();
-    let hl_out = Experiment::new(hl(), trace).run(PolicyKind::sibyl()).unwrap();
+    let hm_out = Experiment::new(hm(), trace.clone())
+        .run(PolicyKind::sibyl())
+        .unwrap();
+    let hl_out = Experiment::new(hl(), trace)
+        .run(PolicyKind::sibyl())
+        .unwrap();
     let hm_pref = hm_out.metrics.fast_placement_fraction;
     let hl_pref = hl_out.metrics.fast_placement_fraction;
-    assert!(hm_pref > 0.3, "H&M preference {hm_pref:.2} should be substantial");
-    assert!(hl_pref > 0.05, "H&L preference {hl_pref:.2} should be non-trivial");
+    assert!(
+        hm_pref > 0.3,
+        "H&M preference {hm_pref:.2} should be substantial"
+    );
+    assert!(
+        hl_pref > 0.05,
+        "H&L preference {hl_pref:.2} should be non-trivial"
+    );
     assert!(
         (hm_pref - hl_pref).abs() > 0.05,
         "preference should depend on the device configuration: {hm_pref:.2} vs {hl_pref:.2}"
@@ -83,7 +105,9 @@ fn sibyl_restrains_on_cold_sequential_workloads() {
     // The eviction penalty must stop the agent from flooding the fast
     // device when there is no reuse to exploit.
     let trace = msrc::generate(msrc::Workload::Stg1, 20_000, 3);
-    let out = Experiment::new(hm(), trace).run(PolicyKind::sibyl()).unwrap();
+    let out = Experiment::new(hm(), trace)
+        .run(PolicyKind::sibyl())
+        .unwrap();
     assert!(
         out.metrics.fast_placement_fraction < 0.5,
         "cold workload fast preference {:.2} should stay low",
@@ -114,7 +138,9 @@ fn dqn_variant_runs_end_to_end() {
         agent_kind: AgentKind::Dqn,
         ..Default::default()
     };
-    let out = Experiment::new(hm(), trace).run(PolicyKind::sibyl_with(cfg)).unwrap();
+    let out = Experiment::new(hm(), trace)
+        .run(PolicyKind::sibyl_with(cfg))
+        .unwrap();
     assert_eq!(out.metrics.total_requests, 8_000);
 }
 
@@ -125,7 +151,9 @@ fn paper_exact_reward_clamp_is_available() {
         clamp_eviction_reward: true,
         ..Default::default()
     };
-    let out = Experiment::new(hm(), trace).run(PolicyKind::sibyl_with(cfg)).unwrap();
+    let out = Experiment::new(hm(), trace)
+        .run(PolicyKind::sibyl_with(cfg))
+        .unwrap();
     assert_eq!(out.metrics.total_requests, 8_000);
 }
 
@@ -137,7 +165,9 @@ fn single_feature_agents_run_like_fig13() {
             feature_mask: mask,
             ..Default::default()
         };
-        let out = Experiment::new(hl(), trace.clone()).run(PolicyKind::sibyl_with(cfg)).unwrap();
+        let out = Experiment::new(hl(), trace.clone())
+            .run(PolicyKind::sibyl_with(cfg))
+            .unwrap();
         assert!(out.metrics.avg_latency_us > 0.0);
     }
 }
