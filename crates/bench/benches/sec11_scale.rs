@@ -1,0 +1,71 @@
+//! §11 scale-out: aggregate throughput of the sharded serving engine as
+//! shard count and inference batch size grow.
+//!
+//! The paper serves placement decisions online for a single HSS node;
+//! this target measures the reproduction's serving layer beyond that —
+//! `sibyl-serve` routes a mixed workload (Table 5's mix2) across N
+//! worker shards, each an independent HSS + agent deciding batches of
+//! requests with one batched C51 inference pass. Replay runs with
+//! compressed think time so device capacity, not arrival rate, bounds
+//! IOPS (the Fig. 10 regime). Aggregate IOPS should rise monotonically
+//! with the shard count: each shard brings its own devices, so the
+//! engine models scale-out across storage nodes.
+
+use sibyl_bench::{banner, hm_config, seed, trace_len};
+use sibyl_core::SibylConfig;
+use sibyl_serve::ServeConfig;
+use sibyl_sim::report::Table;
+use sibyl_sim::ServeExperiment;
+use sibyl_trace::mix::Mix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = trace_len(6_000);
+    let trace = Mix::Mix2.generate(n, seed());
+    banner(
+        "§11 scale-out",
+        "Sharded serving engine: aggregate IOPS and latency vs shard count and batch size",
+    );
+    println!(
+        "workload {} ({} requests), accelerated replay\n",
+        trace.name(),
+        trace.len()
+    );
+
+    // Shorter train interval than the paper's 1000 so every shard still
+    // trains a useful number of steps on its partition of the trace.
+    let sibyl = SibylConfig {
+        train_interval: 250,
+        ..Default::default()
+    };
+
+    for batch in [1usize, 8, 32] {
+        let mut table = Table::new(
+            ["shards", "agg IOPS", "speedup", "avg lat (us)", "fast frac"]
+                .map(String::from)
+                .to_vec(),
+        );
+        let mut base_iops = 0.0f64;
+        for shards in [1usize, 2, 4, 8] {
+            let config = ServeConfig::new(hm_config())
+                .with_shards(shards)
+                .with_max_batch(batch)
+                .with_time_scale(40.0)
+                .with_sibyl(sibyl.clone());
+            let outcome = ServeExperiment::new(config, trace.clone()).run()?;
+            let agg = outcome.aggregate;
+            if shards == 1 {
+                base_iops = agg.iops;
+            }
+            table.add_row(vec![
+                shards.to_string(),
+                format!("{:.0}", agg.iops),
+                format!("{:.2}x", agg.iops / base_iops.max(1e-9)),
+                format!("{:.1}", agg.avg_latency_us),
+                format!("{:.2}", agg.fast_placement_fraction),
+            ]);
+        }
+        println!("inference batch size {batch}");
+        println!("{}", table.render());
+    }
+    Ok(())
+}

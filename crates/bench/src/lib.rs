@@ -7,9 +7,27 @@
 //!
 //! Run a single figure with
 //! `cargo bench -p sibyl-bench --bench fig09_latency`, or everything with
-//! `cargo bench --workspace`. `SIBYL_REQS` scales trace lengths
-//! (default: a laptop-friendly size per figure); `SIBYL_SEED` overrides
-//! the workload seed.
+//! `cargo bench --workspace`.
+//!
+//! ## Environment variables
+//!
+//! Every bench target honors two environment variables, read through
+//! [`trace_len`] and [`seed`]:
+//!
+//! - **`SIBYL_REQS`** — requests per workload. Each target passes its own
+//!   laptop-friendly default to [`trace_len`]; setting `SIBYL_REQS`
+//!   overrides all of them at once, which is how CI and spot checks run
+//!   the slow sweeps (`fig10`, `fig15`) in seconds. Unparsable values
+//!   fall back to the default rather than failing the run.
+//! - **`SIBYL_SEED`** — the workload seed (default 42). Trace synthesis,
+//!   weight init, exploration, and replay sampling are all derived from
+//!   explicit seeds, so two runs with identical `SIBYL_REQS`/`SIBYL_SEED`
+//!   print byte-identical tables; changing `SIBYL_SEED` re-rolls the
+//!   workloads for robustness checks.
+//!
+//! ```sh
+//! SIBYL_REQS=2000 SIBYL_SEED=7 cargo bench -p sibyl-bench --bench fig09_latency
+//! ```
 
 #![warn(missing_docs)]
 

@@ -81,6 +81,9 @@ pub struct SibylAgent {
     config: SibylConfig,
     runtime: Option<Runtime>,
     pending: Option<Pending>,
+    /// Decisions of the current [`SibylAgent::place_batch`] call, awaiting
+    /// their rewards from [`SibylAgent::feedback_batch`].
+    batch: Vec<Pending>,
     rng: StdRng,
     stats: AgentStats,
     pushes_seen: u64,
@@ -102,6 +105,7 @@ impl SibylAgent {
             config,
             runtime: None,
             pending: None,
+            batch: Vec::new(),
             rng,
             stats: AgentStats::default(),
             pushes_seen: 0,
@@ -199,6 +203,139 @@ impl SibylAgent {
         }
     }
 
+    /// Makes placement decisions for a whole batch of requests at once,
+    /// amortizing NN inference across the batch: the greedy decisions run
+    /// through one [`Mlp::forward_batch`] matrix-matrix pass instead of
+    /// one matrix-vector pass per request. This is the decision path of
+    /// the `sibyl-serve` sharded serving engine.
+    ///
+    /// Observations are encoded against the manager state *before* any
+    /// request of the batch is served — the staleness-for-throughput
+    /// trade batched serving makes (request *k* of a batch does not see
+    /// the residency/capacity effects of requests `0..k`). RNG
+    /// consumption and ε-greedy annealing match the sequential
+    /// [`PlacementPolicy::place`] path request for request, and the
+    /// batched network outputs are bit-identical to per-request
+    /// inference.
+    ///
+    /// Every `place_batch` call must be paired with a
+    /// [`SibylAgent::feedback_batch`] call carrying the outcomes of the
+    /// returned placements, in order. Do not interleave with the
+    /// single-request [`PlacementPolicy::place`] path while a batch is
+    /// outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous batch was never completed with
+    /// [`SibylAgent::feedback_batch`].
+    pub fn place_batch(&mut self, reqs: &[IoRequest], manager: &StorageManager) -> Vec<DeviceId> {
+        assert!(
+            self.batch.is_empty(),
+            "place_batch: previous batch still awaits feedback_batch"
+        );
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        self.ensure_runtime(manager);
+        let observations: Vec<Vec<f32>> = {
+            let rt = self.runtime.as_ref().expect("runtime initialized");
+            reqs.iter()
+                .map(|req| rt.encoder.observe(req, manager).vector)
+                .collect()
+        };
+
+        // Finalize the decision left over from the previous batch (or from
+        // the sequential path) now that its next-state is known.
+        self.finalize_pending(&observations[0]);
+
+        let n_actions = self
+            .runtime
+            .as_ref()
+            .expect("runtime initialized")
+            .n_actions;
+        let mut actions = vec![0usize; reqs.len()];
+        let mut greedy = Vec::with_capacity(reqs.len());
+        for (i, action) in actions.iter_mut().enumerate() {
+            let eps = self.epsilon();
+            if self.rng.gen::<f64>() < eps {
+                self.stats.explorations += 1;
+                *action = self.rng.gen_range(0..n_actions);
+            } else {
+                greedy.push(i);
+            }
+            self.stats.decisions += 1;
+        }
+        if !greedy.is_empty() {
+            let rt = self.runtime.as_ref().expect("runtime initialized");
+            let obs_len = observations[0].len();
+            let mut flat = Vec::with_capacity(greedy.len() * obs_len);
+            for &i in &greedy {
+                flat.extend_from_slice(&observations[i]);
+            }
+            let logits = rt.inference_net.forward_batch(&flat, greedy.len());
+            let out_dim = rt.inference_net.out_dim();
+            for (k, &i) in greedy.iter().enumerate() {
+                actions[i] = rt.head.best_action(&logits[k * out_dim..(k + 1) * out_dim]);
+            }
+        }
+        self.batch = observations
+            .into_iter()
+            .zip(&actions)
+            .map(|(obs, &action)| Pending {
+                obs,
+                action,
+                reward: None,
+            })
+            .collect();
+        actions.into_iter().map(DeviceId).collect()
+    }
+
+    /// Completes the current batch: shapes one reward per outcome, chains
+    /// experiences within the batch (`⟨O_i, a_i, r_i, O_{i+1}⟩`), and
+    /// leaves the batch's last decision pending until the next batch
+    /// supplies its next-state observation. Runs due training steps and
+    /// weight syncs exactly like the sequential feedback path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes.len()` differs from the preceding
+    /// [`SibylAgent::place_batch`] call's request count.
+    pub fn feedback_batch(&mut self, outcomes: &[AccessOutcome]) {
+        assert_eq!(
+            outcomes.len(),
+            self.batch.len(),
+            "feedback_batch: one outcome per batched decision required"
+        );
+        // An empty round (paired with an empty place_batch) is a no-op; it
+        // must not disturb the still-pending decision of a previous batch.
+        if outcomes.is_empty() || self.runtime.is_none() {
+            return;
+        }
+        let rewards: Vec<f32> = {
+            let rt = self.runtime.as_ref().expect("runtime initialized");
+            outcomes.iter().map(|o| rt.shaper.reward(o)).collect()
+        };
+        let mut batch = std::mem::take(&mut self.batch);
+        for (pending, reward) in batch.iter_mut().zip(rewards) {
+            pending.reward = Some(reward);
+        }
+        let last = batch.pop();
+        for (i, pending) in batch.iter().enumerate() {
+            let next_obs = if i + 1 < batch.len() {
+                batch[i + 1].obs.clone()
+            } else {
+                last.as_ref().expect("non-empty batch").obs.clone()
+            };
+            self.push_experience(Experience {
+                obs: pending.obs.clone(),
+                action: pending.action,
+                reward: pending.reward.expect("reward set above"),
+                next_obs,
+            });
+        }
+        self.pending = last;
+    }
+
     /// Changes the learning rate online (synchronous mode only; the
     /// Sibyl_Opt configuration of §8.3 uses a lower rate from the start).
     pub fn set_learning_rate(&mut self, lr: f32) {
@@ -208,6 +345,38 @@ impl SibylAgent {
             }
         }
     }
+
+    /// Finalizes the previous decision — if its reward has arrived — now
+    /// that its next-state observation is known (experience =
+    /// ⟨O_t, a_t, r_t, O_{t+1}⟩, §6 footnote 6). Shared by the sequential
+    /// and batched decision paths.
+    fn finalize_pending(&mut self, next_obs: &[f32]) {
+        if let Some(prev) = self.pending.take() {
+            if let Some(reward) = prev.reward {
+                self.push_experience(Experience {
+                    obs: prev.obs,
+                    action: prev.action,
+                    reward,
+                    next_obs: next_obs.to_vec(),
+                });
+            }
+        }
+    }
+
+    /// Current ε of the linear anneal from `exploration_initial` to the
+    /// tuned final ε, driven by decisions made so far. Shared by the
+    /// sequential and batched decision paths — the batched path's
+    /// request-for-request RNG parity depends on both using the exact
+    /// same schedule.
+    fn epsilon(&self) -> f64 {
+        let progress = if self.config.exploration_decay_requests == 0 {
+            1.0
+        } else {
+            (self.stats.decisions as f64 / self.config.exploration_decay_requests as f64).min(1.0)
+        };
+        self.config.exploration_initial
+            + (self.config.exploration - self.config.exploration_initial) * progress
+    }
 }
 
 impl PlacementPolicy for SibylAgent {
@@ -216,34 +385,21 @@ impl PlacementPolicy for SibylAgent {
     }
 
     fn place(&mut self, req: &IoRequest, ctx: &PlacementContext<'_>) -> DeviceId {
+        assert!(
+            self.batch.is_empty(),
+            "place: a place_batch call still awaits feedback_batch"
+        );
         self.ensure_runtime(ctx.manager);
         let obs = {
             let rt = self.runtime.as_ref().expect("runtime initialized");
             rt.encoder.observe(req, ctx.manager)
         };
 
-        // Finalize the previous decision now that its next-state is known
-        // (experience = ⟨O_t, a_t, r_t, O_{t+1}⟩, §6 footnote 6).
-        if let Some(prev) = self.pending.take() {
-            if let Some(reward) = prev.reward {
-                self.push_experience(Experience {
-                    obs: prev.obs,
-                    action: prev.action,
-                    reward,
-                    next_obs: obs.vector.clone(),
-                });
-            }
-        }
+        // Finalize the previous decision now that its next-state is known.
+        self.finalize_pending(&obs.vector);
 
+        let eps = self.epsilon();
         let rt = self.runtime.as_mut().expect("runtime initialized");
-        // Linear ε anneal from `exploration_initial` to the tuned final ε.
-        let progress = if self.config.exploration_decay_requests == 0 {
-            1.0
-        } else {
-            (self.stats.decisions as f64 / self.config.exploration_decay_requests as f64).min(1.0)
-        };
-        let eps = self.config.exploration_initial
-            + (self.config.exploration - self.config.exploration_initial) * progress;
         let explore = self.rng.gen::<f64>() < eps;
         let action = if explore {
             self.stats.explorations += 1;
@@ -443,6 +599,121 @@ mod tests {
         let placements = &mgr.stats().placements;
         assert_eq!(placements.len(), 3);
         assert_eq!(placements.iter().sum::<u64>(), 900);
+    }
+
+    /// Drives the agent through the batched decision path.
+    fn drive_batched(
+        agent: &mut SibylAgent,
+        mgr: &mut StorageManager,
+        reqs: &[IoRequest],
+        batch: usize,
+    ) {
+        for chunk in reqs.chunks(batch) {
+            let targets = agent.place_batch(chunk, mgr);
+            let outcomes: Vec<AccessOutcome> = chunk
+                .iter()
+                .zip(&targets)
+                .map(|(req, &t)| mgr.access(req, t))
+                .collect();
+            agent.feedback_batch(&outcomes);
+        }
+    }
+
+    #[test]
+    fn batched_drive_collects_experiences_and_trains() {
+        let mut mgr = manager(512);
+        let mut agent = SibylAgent::new(fast_test_config());
+        drive_batched(&mut agent, &mut mgr, &hot_cold_stream(600), 32);
+        let st = agent.stats();
+        assert_eq!(st.decisions, 600);
+        assert!(st.experiences >= 590, "experiences: {}", st.experiences);
+        assert!(st.train_steps >= 3, "train steps: {}", st.train_steps);
+    }
+
+    #[test]
+    fn batched_drive_is_deterministic() {
+        let run = || {
+            let mut mgr = manager(256);
+            let mut agent = SibylAgent::new(fast_test_config());
+            drive_batched(&mut agent, &mut mgr, &hot_cold_stream(500), 16);
+            mgr.stats().avg_latency_us()
+        };
+        assert_eq!(run(), run(), "batched agent must be deterministic");
+    }
+
+    #[test]
+    fn batched_drive_learns_to_keep_hot_pages_fast() {
+        let mut mgr = manager(64);
+        let mut agent = SibylAgent::new(fast_test_config());
+        drive_batched(&mut agent, &mut mgr, &hot_cold_stream(4_000), 32);
+        let mut slow_mgr = manager(64);
+        for req in hot_cold_stream(4_000).iter() {
+            let _ = slow_mgr.access(req, DeviceId(1));
+        }
+        let sibyl_lat = mgr.stats().avg_latency_us();
+        let slow_lat = slow_mgr.stats().avg_latency_us();
+        assert!(
+            sibyl_lat < slow_lat,
+            "batched Sibyl ({sibyl_lat:.0} µs) should beat Slow-Only ({slow_lat:.0} µs)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one outcome per batched decision")]
+    fn feedback_batch_rejects_mismatched_outcomes() {
+        let mut mgr = manager(64);
+        let mut agent = SibylAgent::new(fast_test_config());
+        let reqs = hot_cold_stream(4);
+        let _ = agent.place_batch(&reqs, &mgr);
+        let out = mgr.access(&reqs[0], DeviceId(0));
+        agent.feedback_batch(&[out]);
+    }
+
+    #[test]
+    fn empty_batch_round_is_a_noop() {
+        let mut mgr = manager(64);
+        let mut agent = SibylAgent::new(fast_test_config());
+        let reqs = hot_cold_stream(8);
+        // A real batch, then an empty round: the empty round must not
+        // drop the batch's last decision, so the follow-up batch still
+        // finalizes it into an experience.
+        let targets = agent.place_batch(&reqs, &mgr);
+        let outcomes: Vec<AccessOutcome> = reqs
+            .iter()
+            .zip(&targets)
+            .map(|(r, &t)| mgr.access(r, t))
+            .collect();
+        agent.feedback_batch(&outcomes);
+        assert_eq!(agent.place_batch(&[], &mgr), Vec::new());
+        agent.feedback_batch(&[]);
+        drive_batched(&mut agent, &mut mgr, &hot_cold_stream(8), 8);
+        // 8 + 8 decisions; all but the final pending become experiences.
+        assert_eq!(agent.stats().decisions, 16);
+        assert_eq!(agent.stats().experiences, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "a place_batch call still awaits")]
+    fn sequential_place_rejects_outstanding_batch() {
+        let mgr = manager(64);
+        let mut agent = SibylAgent::new(fast_test_config());
+        let reqs = hot_cold_stream(4);
+        let _ = agent.place_batch(&reqs, &mgr);
+        let ctx = PlacementContext {
+            manager: &mgr,
+            seq: 0,
+        };
+        let _ = agent.place(&reqs[0], &ctx);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous batch still awaits")]
+    fn place_batch_rejects_unfinished_batch() {
+        let mgr = manager(64);
+        let mut agent = SibylAgent::new(fast_test_config());
+        let reqs = hot_cold_stream(4);
+        let _ = agent.place_batch(&reqs, &mgr);
+        let _ = agent.place_batch(&reqs, &mgr);
     }
 
     #[test]

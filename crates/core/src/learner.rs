@@ -153,6 +153,10 @@ impl Learner {
     /// replayed transitions, SGD with mean gradients, then a target-net
     /// refresh. Returns the mean loss, or `None` when the buffer is
     /// empty.
+    ///
+    /// Target-network inference runs through [`Mlp::forward_batch`] — one
+    /// matrix-matrix pass over the whole batch — which is bit-identical
+    /// to per-sample inference, so training results are unchanged.
     pub(crate) fn train_step(&mut self) -> Option<f32> {
         if self.buffer.is_empty() {
             return None;
@@ -160,6 +164,7 @@ impl Learner {
         let mut total_loss = 0.0f32;
         let mut total_samples = 0usize;
         let mut grad = Vec::new();
+        let mut next_obs_flat = Vec::new();
         for _ in 0..self.batches_per_step {
             // Collect owned samples so the buffer borrow ends before the
             // mutable network passes.
@@ -169,15 +174,21 @@ impl Learner {
                 .into_iter()
                 .cloned()
                 .collect();
-            self.train_net.zero_grad();
+            next_obs_flat.clear();
             for exp in &samples {
-                let next_logits = self.target_net.infer(&exp.next_obs);
+                next_obs_flat.extend_from_slice(&exp.next_obs);
+            }
+            let out_dim = self.target_net.out_dim();
+            let next_logits_all = self.target_net.forward_batch(&next_obs_flat, samples.len());
+            self.train_net.zero_grad();
+            for (i, exp) in samples.iter().enumerate() {
+                let next_logits = &next_logits_all[i * out_dim..(i + 1) * out_dim];
                 let logits = self.train_net.forward(&exp.obs);
                 let loss = self.head.sample_grad(
                     &logits,
                     exp.action,
                     exp.reward,
-                    &next_logits,
+                    next_logits,
                     self.discount,
                     &mut grad,
                 );

@@ -12,9 +12,9 @@
 //!   for the network.
 //! - **Action**: the device to place the request's pages on; extending to
 //!   `N ≥ 3` devices adds outputs and capacity features (§8.7).
-//! - **Reward** ([`reward`]): `1/L_t`, penalized by `0.001·L_e` on
+//! - **Reward** ([`RewardShaper`]): `1/L_t`, penalized by `0.001·L_e` on
 //!   eviction (Eq. 1), scaled to a stable support range.
-//! - **Learning** ([`Categorical`], [`learner`]): a C51 categorical DQN
+//! - **Learning** ([`Categorical`]): a C51 categorical DQN
 //!   over a 6-20-30-|A| swish network, trained from a 1000-entry
 //!   deduplicated [`ExperienceBuffer`] — 8 batches of 128 every 1000
 //!   requests, with training→inference weight copies (Algorithm 1).

@@ -133,6 +133,25 @@ impl Dense {
         self.act.apply_slice(out);
     }
 
+    /// Cache-free forward pass over a whole batch. `xs` is row-major
+    /// `(batch × in_dim)`; `out` is refilled row-major
+    /// `(batch × out_dim)`. Each output row is bit-identical to what
+    /// [`Dense::infer`] produces for the corresponding input — the
+    /// batched path only restructures the loops for weight-row reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != batch * in_dim`.
+    pub fn infer_batch(&self, xs: &[f32], batch: usize, out: &mut Vec<f32>) {
+        assert_eq!(
+            xs.len(),
+            batch * self.in_dim,
+            "Dense::infer_batch: input shape mismatch"
+        );
+        linalg::matmul_bias(&self.w, &self.b, xs, self.out_dim, self.in_dim, batch, out);
+        self.act.apply_slice(out);
+    }
+
     /// Backward pass: given `dL/dy`, accumulates `dL/dW` and `dL/db` into
     /// the layer's gradient buffers and returns `dL/dx`.
     ///

@@ -36,6 +36,45 @@ pub fn matvec_bias(w: &[f32], b: &[f32], x: &[f32], rows: usize, cols: usize, ou
     }
 }
 
+/// Computes `out = X·Wᵀ + b` for a batch of inputs: `xs` is row-major
+/// `(batch × cols)` — one input per row — and `out` is refilled row-major
+/// `(batch × rows)`, so each output row is laid out exactly like a
+/// [`matvec_bias`] result for the corresponding input.
+///
+/// The loop nest is ordered so one weight row is streamed across the whole
+/// batch before moving to the next (the batched-inference amortization the
+/// serving engine relies on), while each individual dot product accumulates
+/// in the same order as [`matvec_bias`] — outputs are bit-identical to the
+/// per-request path, which the parity property tests pin down.
+///
+/// # Panics
+///
+/// Panics if `w.len() != rows * cols`, `xs.len() != batch * cols`, or
+/// `b.len() != rows`.
+pub fn matmul_bias(
+    w: &[f32],
+    b: &[f32],
+    xs: &[f32],
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(w.len(), rows * cols, "matmul_bias: weight shape mismatch");
+    assert_eq!(xs.len(), batch * cols, "matmul_bias: input shape mismatch");
+    assert_eq!(b.len(), rows, "matmul_bias: bias length mismatch");
+    out.clear();
+    out.resize(batch * rows, 0.0);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let br = b[r];
+        for s in 0..batch {
+            let x = &xs[s * cols..(s + 1) * cols];
+            out[s * rows + r] = dot(row, x) + br;
+        }
+    }
+}
+
 /// Computes `out = Wᵀ·d` where `w` is row-major `(rows × cols)`:
 /// the gradient w.r.t. the layer input during backpropagation.
 ///
@@ -160,6 +199,28 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_rejects_mismatched_lengths() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_bias_rows_match_matvec() {
+        // W = [[1, 2], [3, 4]], b = [0.5, -0.5]; two stacked inputs.
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5, -0.5];
+        let xs = [1.0, 0.0, 0.0, 1.0];
+        let mut batched = Vec::new();
+        matmul_bias(&w, &b, &xs, 2, 2, 2, &mut batched);
+        for s in 0..2 {
+            let mut single = Vec::new();
+            matvec_bias(&w, &b, &xs[s * 2..(s + 1) * 2], 2, 2, &mut single);
+            assert_eq!(&batched[s * 2..(s + 1) * 2], &single[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape mismatch")]
+    fn matmul_bias_rejects_ragged_batch() {
+        let mut out = Vec::new();
+        matmul_bias(&[1.0, 2.0], &[0.0], &[1.0, 2.0, 3.0], 1, 2, 2, &mut out);
     }
 
     #[test]

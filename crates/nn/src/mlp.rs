@@ -115,6 +115,37 @@ impl Mlp {
         cur
     }
 
+    /// Cache-free batched inference: one matrix-matrix pass per layer
+    /// instead of one matrix-vector pass per request.
+    ///
+    /// `xs` holds `batch` inputs row-major (`batch × in_dim`); the result
+    /// is row-major `(batch × out_dim)`. Row `i` is bit-identical to
+    /// `self.infer(&xs[i*in_dim..(i+1)*in_dim])` — the batched kernels
+    /// keep every dot product's accumulation order unchanged — so batched
+    /// serving decisions match per-request decisions exactly. The win is
+    /// locality: each weight row is streamed once per *batch* rather than
+    /// once per *request*, which is what lets the serving engine amortize
+    /// C51 inference across a shard's queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `xs.len() != batch * self.in_dim()`.
+    pub fn forward_batch(&self, xs: &[f32], batch: usize) -> Vec<f32> {
+        assert!(batch > 0, "Mlp::forward_batch: empty batch");
+        assert_eq!(
+            xs.len(),
+            batch * self.in_dim(),
+            "Mlp::forward_batch: input shape mismatch"
+        );
+        let mut cur = xs.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.infer_batch(&cur, batch, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
     /// Backward pass from `dL/dy`; accumulates gradients in every layer and
     /// returns `dL/dx`.
     ///
@@ -201,6 +232,7 @@ impl Mlp {
 mod tests {
     use super::*;
     use crate::optim::Sgd;
+    use proptest::prelude::*;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -342,5 +374,57 @@ mod tests {
     #[should_panic(expected = "need at least input and output dims")]
     fn rejects_degenerate_shape() {
         let _ = Mlp::new(&[4], Activation::Linear, Activation::Linear, &mut rng(7));
+    }
+
+    #[test]
+    fn forward_batch_of_one_matches_infer() {
+        let net = Mlp::new(
+            &[6, 20, 30, 4],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(8),
+        );
+        let x = [0.3, -0.1, 0.9, 0.0, 0.5, -0.7];
+        assert_eq!(net.forward_batch(&x, 1), net.infer(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn forward_batch_rejects_empty() {
+        let net = Mlp::new(
+            &[3, 4, 2],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(9),
+        );
+        let _ = net.forward_batch(&[], 0);
+    }
+
+    proptest! {
+        /// Batched inference is bit-identical to the per-request path for
+        /// random weights, inputs, and batch sizes — the guarantee the
+        /// serving engine's batched C51 decisions rest on.
+        #[test]
+        fn forward_batch_matches_per_request(seed in 0u64..200, batch in 1usize..9) {
+            let mut r = rng(seed);
+            let net = Mlp::new(
+                &[5, 12, 7, 3],
+                Activation::Swish,
+                Activation::Linear,
+                &mut r,
+            );
+            let xs: Vec<f32> = (0..batch * 5)
+                .map(|_| {
+                    use rand::Rng;
+                    r.gen_range(-2.0f32..2.0)
+                })
+                .collect();
+            let out = net.forward_batch(&xs, batch);
+            prop_assert_eq!(out.len(), batch * 3);
+            for i in 0..batch {
+                let single = net.infer(&xs[i * 5..(i + 1) * 5]);
+                prop_assert_eq!(&out[i * 3..(i + 1) * 3], &single[..]);
+            }
+        }
     }
 }

@@ -17,7 +17,7 @@
 //! - [`Oracle`] — complete future knowledge (placement by next-use
 //!   distance, Belady eviction).
 //! - [`TriHybridHeuristic`] — the hot/cold/frozen three-device heuristic
-//!   (Matsui et al. [76]) used as the tri-HSS baseline in §8.7.
+//!   (Matsui et al. \[76\]) used as the tri-HSS baseline in §8.7.
 //!
 //! None of these baselines consume system feedback (latency/evictions);
 //! that gap is exactly what the paper's RL formulation closes.

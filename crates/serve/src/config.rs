@@ -1,0 +1,186 @@
+//! Configuration of the sharded serving engine.
+
+use sibyl_core::SibylConfig;
+use sibyl_hss::HssConfig;
+
+/// Configuration of a sharded serving run: how many worker shards to
+/// spawn, how deep each shard's inference batches may grow, and the
+/// per-shard storage and agent configurations.
+///
+/// Every shard owns a private [`sibyl_hss::StorageManager`] (its own
+/// devices) plus a private [`sibyl_core::SibylAgent`] seeded from
+/// [`SibylConfig::seed`] and the shard index, so an `N`-shard engine
+/// models a scale-out deployment of `N` independent hybrid-storage nodes,
+/// each serving its own partition of the LBA regions (see
+/// [`crate::shard_of`] for the boundary-straddle caveat).
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_hss::{DeviceSpec, HssConfig};
+/// use sibyl_serve::ServeConfig;
+///
+/// let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+/// let cfg = ServeConfig::new(hss).with_shards(4).with_max_batch(64);
+/// assert_eq!(cfg.shards, 4);
+/// cfg.validate();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards; requests are routed by LBA hash. Default: 4.
+    pub shards: usize,
+    /// Maximum requests drained into one batched-inference decision.
+    /// Default: 32. A shard blocks until its batch is full or the trace
+    /// is exhausted, so batch boundaries — and therefore results — are
+    /// deterministic regardless of thread scheduling.
+    pub max_batch: usize,
+    /// Capacity of each shard's bounded request channel (router
+    /// backpressure). Default: 1024.
+    pub queue_capacity: usize,
+    /// Trace-replay time compression, as in the sim crate's
+    /// `Experiment::with_time_scale`: every timestamp is divided by this
+    /// factor, putting the system in the device-bound regime where
+    /// throughput differentiates. Default: 1.0 (no compression).
+    pub time_scale: f64,
+    /// The hybrid-storage configuration instantiated per shard. Fraction
+    /// capacities resolve against each shard's own footprint.
+    pub hss: HssConfig,
+    /// The agent configuration instantiated per shard (the seed is
+    /// perturbed per shard).
+    pub sibyl: SibylConfig,
+}
+
+impl ServeConfig {
+    /// Creates a serving configuration with default sharding (4 shards,
+    /// batches of up to 32) over the given storage configuration and the
+    /// paper's default agent hyper-parameters.
+    pub fn new(hss: HssConfig) -> Self {
+        ServeConfig {
+            shards: 4,
+            max_batch: 32,
+            queue_capacity: 1024,
+            time_scale: 1.0,
+            hss,
+            sibyl: SibylConfig::default(),
+        }
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the maximum inference batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the per-shard request-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the replay time compression (>1 compresses think time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time scale must be positive"
+        );
+        self.time_scale = scale;
+        self
+    }
+
+    /// Replaces the per-shard agent configuration.
+    pub fn with_sibyl(mut self, sibyl: SibylConfig) -> Self {
+        self.sibyl = sibyl;
+        self
+    }
+
+    /// The agent seed for one shard: the base seed perturbed by the shard
+    /// index so shards explore independently while staying reproducible.
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        self.sibyl
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1))
+    }
+
+    /// Validates ranges (including the embedded agent configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any knob is outside its documented range.
+    pub fn validate(&self) {
+        assert!(self.shards > 0, "ServeConfig: shards must be positive");
+        assert!(
+            self.max_batch > 0,
+            "ServeConfig: max_batch must be positive"
+        );
+        assert!(
+            self.queue_capacity > 0,
+            "ServeConfig: queue_capacity must be positive"
+        );
+        assert!(
+            self.time_scale.is_finite() && self.time_scale > 0.0,
+            "ServeConfig: time_scale must be positive"
+        );
+        self.sibyl.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_hss::DeviceSpec;
+
+    fn hss() -> HssConfig {
+        HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd())
+    }
+
+    #[test]
+    fn defaults_are_valid() {
+        let cfg = ServeConfig::new(hss());
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.max_batch, 32);
+        cfg.validate();
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = ServeConfig::new(hss())
+            .with_shards(8)
+            .with_max_batch(4)
+            .with_queue_capacity(64)
+            .with_time_scale(40.0);
+        assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.max_batch, 4);
+        assert_eq!(cfg.queue_capacity, 64);
+        assert_eq!(cfg.time_scale, 40.0);
+        cfg.validate();
+    }
+
+    #[test]
+    fn shard_seeds_differ_but_are_stable() {
+        let cfg = ServeConfig::new(hss());
+        assert_ne!(cfg.shard_seed(0), cfg.shard_seed(1));
+        assert_eq!(cfg.shard_seed(3), cfg.shard_seed(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be positive")]
+    fn zero_shards_rejected() {
+        ServeConfig::new(hss()).with_shards(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be positive")]
+    fn zero_batch_rejected() {
+        ServeConfig::new(hss()).with_max_batch(0).validate();
+    }
+}

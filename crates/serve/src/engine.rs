@@ -1,0 +1,324 @@
+//! The sharded serving engine: LBA-hash routing, per-shard workers, and
+//! batched-inference request draining.
+
+use crossbeam::channel::{bounded, Receiver};
+
+use sibyl_core::SibylAgent;
+use sibyl_hss::{AccessOutcome, StorageManager};
+use sibyl_trace::{IoRequest, Trace};
+
+use crate::config::ServeConfig;
+use crate::report::{ServeReport, ShardReport};
+
+/// Errors from serving runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The trace contains no requests.
+    EmptyTrace,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::EmptyTrace => write!(f, "trace contains no requests"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Pages per routing region (`2^REGION_BITS` = 64 pages, 256 KiB at 4 KiB
+/// pages). Sized to the trace generators' maximum request size, so a
+/// request's pages almost always share one region — and therefore one
+/// shard.
+pub const REGION_BITS: u32 = 6;
+
+/// The shard a request routes to: a mixing hash of its starting LPN's
+/// *region* (`lpn >> REGION_BITS`) modulo the shard count. Same LPN →
+/// same region → same shard, so each shard's access-frequency features
+/// stay meaningful, and whole regions colocate, so multi-page requests
+/// land on the shard that owns (nearly all of) their pages.
+///
+/// Routing is by the request's *starting* LPN: a request that straddles
+/// a region boundary carries its tail pages to the start region's shard,
+/// so a page in the straddled tail can materialize in more than one
+/// shard's private manager. Shard-private copies are modeled
+/// independently (no cross-shard invalidation) — an approximation that
+/// only occurs at region boundaries and is the price of stateless
+/// routing; cross-shard migration is an open ROADMAP item.
+pub fn shard_of(lpn: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    // splitmix64 finalizer — cheap, stateless, and avalanching, so
+    // adjacent regions spread evenly across shards.
+    let mut h = (lpn >> REGION_BITS).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h % shards as u64) as usize
+}
+
+/// Serves a whole trace through the sharded engine and collects per-shard
+/// reports.
+///
+/// The caller thread acts as the router: it walks the trace in timestamp
+/// order, compresses timestamps by [`ServeConfig::time_scale`], and sends
+/// each request over a bounded channel to the shard selected by
+/// [`shard_of`]. Each worker shard owns a private
+/// [`StorageManager`] + [`SibylAgent`] pair and repeatedly blocks until
+/// it has accumulated [`ServeConfig::max_batch`] requests (or the trace
+/// is exhausted), decides the whole batch with one
+/// [`SibylAgent::place_batch`] call — batched C51 inference — then
+/// serves the batch and feeds the outcomes back.
+///
+/// Because shards fill batches by blocking on their queue rather than
+/// draining opportunistically, batch boundaries are fixed chunks of each
+/// shard's request subsequence. With the default
+/// [`TrainingMode::Synchronous`](sibyl_core::TrainingMode), results are
+/// therefore bit-identical across runs for a given config and trace,
+/// regardless of thread scheduling.
+/// [`TrainingMode::Background`](sibyl_core::TrainingMode) keeps the
+/// trainer off the decision path instead: weight adoption then depends
+/// on trainer-thread timing, so run-to-run metric drift is expected, not
+/// a bug.
+///
+/// # Errors
+///
+/// Returns [`ServeError::EmptyTrace`] for an empty trace.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`ServeConfig::validate`]) or a
+/// worker thread cannot be spawned.
+pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, ServeError> {
+    config.validate();
+    if trace.is_empty() {
+        return Err(ServeError::EmptyTrace);
+    }
+
+    // Pre-compute each shard's footprint so fraction-mode capacities
+    // resolve against the data that shard will actually hold. Sets keep
+    // this O(unique pages), not O(total request pages).
+    let mut shard_pages: Vec<std::collections::HashSet<u64>> =
+        vec![std::collections::HashSet::new(); config.shards];
+    for req in trace.iter() {
+        let s = shard_of(req.lpn, config.shards);
+        shard_pages[s].extend(req.pages());
+    }
+    let footprints: Vec<u64> = shard_pages.iter().map(|pages| pages.len() as u64).collect();
+    drop(shard_pages);
+
+    let mut senders = Vec::with_capacity(config.shards);
+    let mut workers = Vec::with_capacity(config.shards);
+    for (shard, &footprint) in footprints.iter().enumerate() {
+        let (tx, rx) = bounded::<IoRequest>(config.queue_capacity);
+        senders.push(tx);
+        let resolved = config.hss.resolved(footprint.max(1));
+        let mut sibyl = config.sibyl.clone();
+        sibyl.seed = config.shard_seed(shard);
+        let max_batch = config.max_batch;
+        let handle = std::thread::Builder::new()
+            .name(format!("sibyl-shard-{shard}"))
+            .spawn(move || run_shard(shard, rx, &resolved, sibyl, max_batch))
+            .expect("failed to spawn shard worker");
+        workers.push(handle);
+    }
+
+    // Route. Bounded channels give backpressure: the router stalls when a
+    // shard's queue is full instead of buffering the whole trace.
+    for req in trace.iter() {
+        let mut routed = *req;
+        if config.time_scale != 1.0 {
+            routed.timestamp_us = (req.timestamp_us as f64 / config.time_scale) as u64;
+        }
+        let s = shard_of(routed.lpn, config.shards);
+        senders[s].send(routed).expect("shard worker disconnected");
+    }
+    drop(senders); // end-of-trace: workers drain and exit
+
+    let mut shards: Vec<ShardReport> = workers
+        .into_iter()
+        .map(|h| h.join().expect("shard worker panicked"))
+        .collect();
+    shards.sort_by_key(|s| s.shard);
+    Ok(ServeReport { shards })
+}
+
+/// One worker shard's lifetime: fill a batch (blocking), decide it with
+/// batched inference, serve it, feed rewards back; repeat until the
+/// router hangs up.
+fn run_shard(
+    shard: usize,
+    rx: Receiver<IoRequest>,
+    resolved: &sibyl_hss::HssConfig,
+    sibyl: sibyl_core::SibylConfig,
+    max_batch: usize,
+) -> ShardReport {
+    let mut manager = StorageManager::new(resolved);
+    let mut agent = SibylAgent::new(sibyl);
+    let mut batch: Vec<IoRequest> = Vec::with_capacity(max_batch);
+    let mut outcomes: Vec<AccessOutcome> = Vec::with_capacity(max_batch);
+    let mut batches = 0u64;
+    let mut requests = 0u64;
+    let mut disconnected = false;
+    while !disconnected {
+        batch.clear();
+        match rx.recv() {
+            Ok(req) => batch.push(req),
+            Err(_) => break,
+        }
+        while batch.len() < max_batch {
+            match rx.recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        let targets = agent.place_batch(&batch, &manager);
+        outcomes.clear();
+        for (req, &target) in batch.iter().zip(&targets) {
+            outcomes.push(manager.access(req, target));
+        }
+        agent.feedback_batch(&outcomes);
+        batches += 1;
+        requests += batch.len() as u64;
+    }
+    ShardReport {
+        shard,
+        requests,
+        batches,
+        stats: manager.stats().clone(),
+        agent: agent.stats().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_core::SibylConfig;
+    use sibyl_hss::{DeviceSpec, HssConfig};
+    use sibyl_trace::{mix, msrc};
+
+    fn fast_sibyl() -> SibylConfig {
+        SibylConfig {
+            buffer_capacity: 256,
+            train_interval: 128,
+            batch_size: 32,
+            batches_per_step: 2,
+            n_atoms: 11,
+            exploration: 0.05,
+            exploration_initial: 0.3,
+            exploration_decay_requests: 500,
+            ..Default::default()
+        }
+    }
+
+    fn config(shards: usize, max_batch: usize) -> ServeConfig {
+        let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+        ServeConfig::new(hss)
+            .with_shards(shards)
+            .with_max_batch(max_batch)
+            .with_sibyl(fast_sibyl())
+    }
+
+    fn mixed_trace(n_per_component: usize) -> sibyl_trace::Trace {
+        mix::Mix::Mix2.generate(n_per_component, 7)
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for lpn in [0u64, 1, 4096, u64::MAX] {
+            let s = shard_of(lpn, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(lpn, 4));
+        }
+        assert_eq!(shard_of(12345, 1), 0);
+    }
+
+    #[test]
+    fn shard_of_keeps_a_region_together() {
+        // All 64 pages of one region — the span of the largest generated
+        // request — route to the same shard.
+        let region_shard = shard_of(0, 8);
+        for lpn in 0..(1u64 << REGION_BITS) {
+            assert_eq!(shard_of(lpn, 8), region_shard);
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_adjacent_regions() {
+        let mut hit = vec![false; 8];
+        for region in 0..64u64 {
+            hit[shard_of(region << REGION_BITS, 8)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "some shard never hit: {hit:?}");
+    }
+
+    #[test]
+    fn every_request_is_served_exactly_once() {
+        let trace = mixed_trace(1_000);
+        let report = serve_trace(&config(4, 16), &trace).unwrap();
+        assert_eq!(report.shards.len(), 4);
+        assert_eq!(report.total_requests(), trace.len() as u64);
+        for s in &report.shards {
+            assert_eq!(s.stats.total_requests, s.requests);
+            assert_eq!(s.agent.decisions, s.requests);
+            assert!(s.batches >= s.requests.div_ceil(16));
+        }
+    }
+
+    #[test]
+    fn seeded_run_reproduces_identical_metrics() {
+        let trace = mixed_trace(1_000);
+        let cfg = config(4, 32);
+        let a = serve_trace(&cfg, &trace).unwrap();
+        let b = serve_trace(&cfg, &trace).unwrap();
+        assert_eq!(a, b, "sharded serving must be deterministic");
+        assert_eq!(a.aggregate(), b.aggregate());
+    }
+
+    #[test]
+    fn more_shards_increase_aggregate_iops() {
+        let trace = mixed_trace(1_500);
+        let one = serve_trace(&config(1, 16).with_time_scale(40.0), &trace).unwrap();
+        let four = serve_trace(&config(4, 16).with_time_scale(40.0), &trace).unwrap();
+        let (i1, i4) = (one.aggregate().iops, four.aggregate().iops);
+        assert!(
+            i4 > i1,
+            "4 shards ({i4:.0} IOPS) should out-serve 1 shard ({i1:.0} IOPS)"
+        );
+    }
+
+    #[test]
+    fn single_shard_single_batch_matches_sequential_structure() {
+        // max_batch = 1 degenerates to the sequential decision path: one
+        // request per inference round.
+        let trace = msrc::generate(msrc::Workload::Rsrch0, 300, 3);
+        let report = serve_trace(&config(1, 1), &trace).unwrap();
+        assert_eq!(report.shards[0].batches, 300);
+        assert!((report.shards[0].avg_batch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let trace = sibyl_trace::Trace::from_requests("empty", vec![]);
+        assert_eq!(
+            serve_trace(&config(2, 8), &trace),
+            Err(ServeError::EmptyTrace)
+        );
+        assert_eq!(
+            ServeError::EmptyTrace.to_string(),
+            "trace contains no requests"
+        );
+    }
+
+    #[test]
+    fn background_training_mode_serves_and_shuts_down() {
+        let mut cfg = config(2, 16);
+        cfg.sibyl.training_mode = sibyl_core::TrainingMode::Background;
+        let trace = mixed_trace(500);
+        let report = serve_trace(&cfg, &trace).unwrap();
+        assert_eq!(report.total_requests(), trace.len() as u64);
+    }
+}

@@ -1,0 +1,66 @@
+//! # sibyl-serve
+//!
+//! A sharded placement-serving engine for the Sibyl reproduction: the
+//! step from *one agent on one thread* toward the production-scale
+//! serving layer the ROADMAP targets.
+//!
+//! The engine spawns `N` worker shards. Each shard owns a private
+//! [`sibyl_hss::StorageManager`] and [`sibyl_core::SibylAgent`] —
+//! modeling a scale-out deployment of independent hybrid-storage nodes —
+//! and requests are routed to shards by a hash of their starting LBA's
+//! 64-page region over bounded `crossbeam` channels ([`shard_of`];
+//! requests straddling a region boundary follow their start region, see
+//! there for the modeling consequence). Each shard drains
+//! its queue in batches of up to [`ServeConfig::max_batch`] requests and
+//! decides the whole batch with **one batched C51 inference pass**
+//! (`Mlp::forward_batch`): one matrix-matrix product per layer instead
+//! of a matrix-vector product per request, bit-identical to per-request
+//! inference.
+//!
+//! Determinism survives sharding — in the default
+//! `TrainingMode::Synchronous`: batch boundaries are fixed chunks of
+//! each shard's request subsequence (shards block until a batch fills or
+//! the trace ends), and every shard's RNG is seeded from the base seed
+//! and the shard index — so a seeded synchronous run reproduces
+//! identical per-shard and aggregate metrics regardless of thread
+//! scheduling. `TrainingMode::Background` trades that reproducibility
+//! for an off-critical-path trainer per shard: weight adoption depends
+//! on trainer timing, so metrics drift run to run by design.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use sibyl_hss::{DeviceSpec, HssConfig};
+//! use sibyl_serve::{serve_trace, ServeConfig};
+//! use sibyl_trace::msrc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Serve an MSRC-like workload across 2 shards with batches of 16.
+//! let trace = msrc::generate(msrc::Workload::Rsrch0, 2_000, 42);
+//! let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+//! let config = ServeConfig::new(hss).with_shards(2).with_max_batch(16);
+//! let report = serve_trace(&config, &trace)?;
+//! assert_eq!(report.total_requests(), 2_000);
+//! let agg = report.aggregate();
+//! println!(
+//!     "{} requests, {:.0} aggregate IOPS, {:.1} µs mean latency",
+//!     agg.total_requests, agg.iops, agg.avg_latency_us,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For experiment-style results in the paper's metric vocabulary
+//! (normalized latency/IOPS per shard), use `sibyl_sim::ServeExperiment`,
+//! which wraps this engine.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+mod report;
+
+pub use config::ServeConfig;
+pub use engine::{serve_trace, shard_of, ServeError, REGION_BITS};
+pub use report::{Aggregate, ServeReport, ShardReport};

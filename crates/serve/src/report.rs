@@ -1,0 +1,167 @@
+//! Per-shard and aggregate results of a serving run.
+
+use sibyl_core::AgentStats;
+use sibyl_hss::HssStats;
+
+/// What one worker shard did during a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// The shard's index (its position in the LBA-hash partition).
+    pub shard: usize,
+    /// Requests routed to — and served by — this shard.
+    pub requests: u64,
+    /// Batched-inference rounds the shard executed.
+    pub batches: u64,
+    /// The shard's storage-manager statistics (latency, IOPS, evictions).
+    pub stats: HssStats,
+    /// The shard's agent counters (decisions, explorations, train steps).
+    pub agent: AgentStats,
+}
+
+impl ShardReport {
+    /// Mean requests per batched-inference round.
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Aggregate metrics across all shards of a serving run.
+///
+/// Shards run in parallel over the same simulated clock, so aggregate
+/// throughput uses the union of the shards' busy spans: total requests
+/// divided by `max(last completion) − min(first arrival)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Requests served across all shards.
+    pub total_requests: u64,
+    /// Request-weighted mean latency in microseconds.
+    pub avg_latency_us: f64,
+    /// Largest single-request latency across shards (µs).
+    pub max_latency_us: f64,
+    /// Aggregate throughput in I/O operations per second.
+    pub iops: f64,
+    /// Pages evicted across all shards.
+    pub evicted_pages: u64,
+    /// Pages migrated toward policy targets across all shards.
+    pub migrated_pages: u64,
+    /// Fraction of requests placed on the fastest device, across shards.
+    pub fast_placement_fraction: f64,
+}
+
+/// The result of one [`crate::serve_trace`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// One report per shard, ordered by shard index.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ServeReport {
+    /// Requests served across all shards.
+    pub fn total_requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Folds the per-shard statistics into aggregate metrics.
+    pub fn aggregate(&self) -> Aggregate {
+        let mut total_requests = 0u64;
+        let mut sum_latency = 0.0f64;
+        let mut max_latency = 0.0f64;
+        let mut evicted = 0u64;
+        let mut migrated = 0u64;
+        let mut fast_placements = 0u64;
+        let mut first_arrival = f64::INFINITY;
+        let mut last_completion = f64::NEG_INFINITY;
+        for s in &self.shards {
+            if s.stats.total_requests == 0 {
+                continue;
+            }
+            total_requests += s.stats.total_requests;
+            sum_latency += s.stats.sum_latency_us;
+            max_latency = max_latency.max(s.stats.max_latency_us);
+            evicted += s.stats.evicted_pages;
+            migrated += s.stats.migrated_pages;
+            fast_placements += s.stats.placements.first().copied().unwrap_or(0);
+            first_arrival = first_arrival.min(s.stats.first_arrival_us);
+            last_completion = last_completion.max(s.stats.last_completion_us);
+        }
+        let span = last_completion - first_arrival;
+        Aggregate {
+            total_requests,
+            avg_latency_us: if total_requests == 0 {
+                0.0
+            } else {
+                sum_latency / total_requests as f64
+            },
+            max_latency_us: max_latency,
+            iops: if total_requests == 0 || span <= 0.0 {
+                0.0
+            } else {
+                total_requests as f64 / span * 1e6
+            },
+            evicted_pages: evicted,
+            migrated_pages: migrated,
+            fast_placement_fraction: if total_requests == 0 {
+                0.0
+            } else {
+                fast_placements as f64 / total_requests as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(shard: usize, requests: u64, sum_lat: f64, span: (f64, f64)) -> ShardReport {
+        let mut stats = HssStats::new(2);
+        stats.total_requests = requests;
+        stats.sum_latency_us = sum_lat;
+        stats.max_latency_us = sum_lat / requests.max(1) as f64 * 2.0;
+        stats.first_arrival_us = span.0;
+        stats.last_completion_us = span.1;
+        stats.placements = vec![requests / 2, requests - requests / 2];
+        ShardReport {
+            shard,
+            requests,
+            batches: requests.div_ceil(8),
+            stats,
+            agent: AgentStats::default(),
+        }
+    }
+
+    #[test]
+    fn aggregate_weights_by_requests() {
+        let report = ServeReport {
+            shards: vec![
+                shard(0, 100, 1_000.0, (0.0, 1e6)),
+                shard(1, 300, 9_000.0, (0.0, 2e6)),
+            ],
+        };
+        let agg = report.aggregate();
+        assert_eq!(agg.total_requests, 400);
+        assert!((agg.avg_latency_us - 25.0).abs() < 1e-9);
+        // Span = overlap of parallel shards: 2 seconds → 200 IOPS.
+        assert!((agg.iops - 200.0).abs() < 1e-9);
+        assert!((agg.fast_placement_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let report = ServeReport { shards: vec![] };
+        let agg = report.aggregate();
+        assert_eq!(agg.total_requests, 0);
+        assert_eq!(agg.iops, 0.0);
+        assert_eq!(agg.avg_latency_us, 0.0);
+    }
+
+    #[test]
+    fn avg_batch_divides() {
+        let s = shard(0, 100, 1_000.0, (0.0, 1e6));
+        assert!((s.avg_batch() - 100.0 / 13.0).abs() < 1e-9);
+    }
+}

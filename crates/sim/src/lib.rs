@@ -8,6 +8,8 @@
 //! preference).
 //!
 //! - [`Experiment`] — run one policy on one workload.
+//! - [`ServeExperiment`] — run the [`sibyl_serve`] sharded serving
+//!   engine on one workload and collect per-shard + aggregate metrics.
 //! - [`run_suite`] — run a set of policies plus the Fast-Only baseline
 //!   and normalize (every latency figure in the paper is normalized to
 //!   Fast-Only).
@@ -38,8 +40,10 @@ mod experiment;
 mod metrics;
 mod policy_kind;
 pub mod report;
+mod serve_experiment;
 pub mod sweeps;
 
 pub use experiment::{run_suite, Experiment, Outcome, SimError, SuiteResult};
 pub use metrics::Metrics;
 pub use policy_kind::PolicyKind;
+pub use serve_experiment::{ServeExperiment, ServeOutcome};

@@ -1,0 +1,134 @@
+//! The sharded-serving experiment driver: trace × serving configuration
+//! → per-shard and aggregate metrics.
+
+use sibyl_serve::{serve_trace, Aggregate, ServeConfig, ServeError, ServeReport};
+use sibyl_trace::Trace;
+
+use crate::experiment::SimError;
+use crate::metrics::Metrics;
+
+/// Result of one sharded serving run: the engine's raw report plus each
+/// shard's statistics lifted into the paper's [`Metrics`] vocabulary.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Per-shard metrics, ordered by shard index.
+    pub shard_metrics: Vec<Metrics>,
+    /// Aggregate metrics across shards (parallel-span IOPS,
+    /// request-weighted latency).
+    pub aggregate: Aggregate,
+    /// The engine's full report (batch counts, agent counters).
+    pub report: ServeReport,
+}
+
+/// A reusable sharded-serving experiment: one workload served through the
+/// [`sibyl_serve`] engine under one [`ServeConfig`].
+///
+/// This is the scale-out counterpart of [`crate::Experiment`]: instead of
+/// replaying the trace through a single policy/manager pair, the trace is
+/// routed by LBA hash across `N` worker shards, each deciding placements
+/// with batched C51 inference.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_hss::{DeviceSpec, HssConfig};
+/// use sibyl_serve::ServeConfig;
+/// use sibyl_sim::ServeExperiment;
+/// use sibyl_trace::msrc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = msrc::generate(msrc::Workload::Hm1, 2_000, 42);
+/// let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+/// let exp = ServeExperiment::new(ServeConfig::new(hss).with_shards(2), trace);
+/// let outcome = exp.run()?;
+/// assert_eq!(outcome.shard_metrics.len(), 2);
+/// assert_eq!(outcome.aggregate.total_requests, 2_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeExperiment {
+    config: ServeConfig,
+    trace: Trace,
+}
+
+impl ServeExperiment {
+    /// Creates a serving experiment from a serving configuration and a
+    /// trace.
+    pub fn new(config: ServeConfig, trace: Trace) -> Self {
+        ServeExperiment { config, trace }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The workload.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs the sharded engine over the whole trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyTrace`] for an empty trace.
+    pub fn run(&self) -> Result<ServeOutcome, SimError> {
+        let report = serve_trace(&self.config, &self.trace).map_err(|e| match e {
+            ServeError::EmptyTrace => SimError::EmptyTrace,
+        })?;
+        let shard_metrics = report
+            .shards
+            .iter()
+            .map(|s| Metrics::from_stats(&s.stats))
+            .collect();
+        let aggregate = report.aggregate();
+        Ok(ServeOutcome {
+            shard_metrics,
+            aggregate,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_core::SibylConfig;
+    use sibyl_hss::{DeviceSpec, HssConfig};
+    use sibyl_trace::msrc;
+
+    fn config(shards: usize) -> ServeConfig {
+        let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+        ServeConfig::new(hss)
+            .with_shards(shards)
+            .with_sibyl(SibylConfig {
+                buffer_capacity: 256,
+                train_interval: 128,
+                batch_size: 32,
+                batches_per_step: 2,
+                n_atoms: 11,
+                ..Default::default()
+            })
+    }
+
+    #[test]
+    fn outcome_covers_every_shard_and_request() {
+        let trace = msrc::generate(msrc::Workload::Prxy1, 2_000, 5);
+        let exp = ServeExperiment::new(config(4), trace);
+        let out = exp.run().unwrap();
+        assert_eq!(out.shard_metrics.len(), 4);
+        assert_eq!(out.aggregate.total_requests, 2_000);
+        let per_shard: u64 = out.shard_metrics.iter().map(|m| m.total_requests).sum();
+        assert_eq!(per_shard, 2_000);
+        assert_eq!(exp.config().shards, 4);
+        assert_eq!(exp.trace().len(), 2_000);
+    }
+
+    #[test]
+    fn empty_trace_maps_to_sim_error() {
+        let exp = ServeExperiment::new(config(2), Trace::from_requests("e", vec![]));
+        assert!(matches!(exp.run(), Err(SimError::EmptyTrace)));
+    }
+}

@@ -18,6 +18,9 @@
 //! - [`policies`] — baseline placement policies (CDE, HPS, Archivist,
 //!   RNN-HSS, Oracle, Slow-Only, Fast-Only, tri-hybrid heuristic).
 //! - [`sim`] — the experiment runner, metrics, and parameter sweeps.
+//! - [`serve`] — the sharded placement-serving engine: LBA-hash routing
+//!   across worker shards, each deciding request batches with one
+//!   batched C51 inference pass.
 //!
 //! ## Quickstart
 //!
@@ -42,5 +45,6 @@ pub use sibyl_core as core;
 pub use sibyl_hss as hss;
 pub use sibyl_nn as nn;
 pub use sibyl_policies as policies;
+pub use sibyl_serve as serve;
 pub use sibyl_sim as sim;
 pub use sibyl_trace as trace;
