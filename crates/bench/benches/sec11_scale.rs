@@ -10,6 +10,12 @@
 //! IOPS (the Fig. 10 regime). Aggregate IOPS should rise monotonically
 //! with the shard count: each shard brings its own devices, so the
 //! engine models scale-out across storage nodes.
+//!
+//! NN inference time is charged through the §10 overhead model
+//! (`nn_ns_per_mac`), amortized per batch — so growing the batch size
+//! shows up as *lower average latency*, not just higher IOPS: at batch 1
+//! every request pays a full forward pass, at batch 32 a thirty-second
+//! of one.
 
 use sibyl_bench::{banner, hm_config, seed, trace_len};
 use sibyl_core::SibylConfig;
@@ -38,11 +44,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
 
+    // 20 ns per MAC ≈ 76 µs per C51 forward pass — software inference on
+    // a busy core. Charged per batch and amortized, so the batch-size
+    // sweep shows the win in the latency column, not just IOPS.
+    const NN_NS_PER_MAC: f64 = 20.0;
+
     for batch in [1usize, 8, 32] {
         let mut table = Table::new(
-            ["shards", "agg IOPS", "speedup", "avg lat (us)", "fast frac"]
-                .map(String::from)
-                .to_vec(),
+            [
+                "shards",
+                "agg IOPS",
+                "speedup",
+                "avg lat (us)",
+                "nn us/req",
+                "fast frac",
+            ]
+            .map(String::from)
+            .to_vec(),
         );
         let mut base_iops = 0.0f64;
         for shards in [1usize, 2, 4, 8] {
@@ -50,9 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_shards(shards)
                 .with_max_batch(batch)
                 .with_time_scale(40.0)
+                .with_nn_ns_per_mac(NN_NS_PER_MAC)
                 .with_sibyl(sibyl.clone());
             let outcome = ServeExperiment::new(config, trace.clone()).run()?;
             let agg = outcome.aggregate;
+            let nn_us: f64 = outcome.report.shards.iter().map(|s| s.nn_busy_us).sum();
             if shards == 1 {
                 base_iops = agg.iops;
             }
@@ -61,6 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.0}", agg.iops),
                 format!("{:.2}x", agg.iops / base_iops.max(1e-9)),
                 format!("{:.1}", agg.avg_latency_us),
+                format!("{:.2}", nn_us / agg.total_requests.max(1) as f64),
                 format!("{:.2}", agg.fast_placement_fraction),
             ]);
         }

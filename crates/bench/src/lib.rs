@@ -31,10 +31,15 @@
 
 #![warn(missing_docs)]
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use sibyl_hss::{DeviceSpec, HssConfig};
 use sibyl_sim::report::Table;
 use sibyl_sim::SuiteResult;
 use sibyl_trace::msrc::Workload;
+use sibyl_trace::zipf::Zipf;
+use sibyl_trace::{IoOp, IoRequest, Trace};
 
 /// Requests per workload, overridable with `SIBYL_REQS`.
 pub fn trace_len(default: usize) -> usize {
@@ -78,6 +83,49 @@ pub fn hml_ssd_config() -> HssConfig {
         DeviceSpec::tlc_ssd(),
         DeviceSpec::cheap_ssd(),
     )
+}
+
+/// A skew-partitioned hot/cold workload for the cooperation sweep
+/// (`sec12_coop`): half the requests hit small per-region hot sets whose
+/// *regions* follow a Zipf(1.2) popularity law, the other half stream
+/// cold 8-page reads across a large area. Under the serving engine's
+/// region-hash routing, every shard receives a very different hot/cold
+/// proportion — data-rich shards see most of the hot traffic while
+/// data-poor shards mostly stream cold — which is exactly the partition
+/// skew where independent per-shard agents relearn what their neighbors
+/// already know and cooperation (shared replay / weight averaging)
+/// should close the gap.
+pub fn skewed_coop_trace(n: usize, seed: u64) -> Trace {
+    /// Hot regions, each the serving engine's 64-page routing granule.
+    const HOT_REGIONS: usize = 32;
+    const REGION_PAGES: u64 = 64;
+    /// Hot pages per region — the whole hot set fits a 10 % fast device.
+    const HOT_PAGES_PER_REGION: u64 = 16;
+    /// Cold area: far beyond the hot span, large enough never to fit.
+    const COLD_BASE: u64 = 1 << 20;
+    const COLD_SPAN_PAGES: u64 = 1 << 18;
+    let zipf = Zipf::new(HOT_REGIONS, 1.2);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC1_2C00);
+    let mut reqs = Vec::with_capacity(n);
+    let mut cold_cursor = 0u64;
+    for i in 0..n {
+        let ts = i as u64 * 300;
+        if rng.gen::<f64>() < 0.5 {
+            let region = zipf.sample(&mut rng) as u64;
+            let page = region * REGION_PAGES + rng.gen_range(0..HOT_PAGES_PER_REGION);
+            let op = if rng.gen::<f64>() < 0.5 {
+                IoOp::Write
+            } else {
+                IoOp::Read
+            };
+            reqs.push(IoRequest::new(ts, page, 1, op));
+        } else {
+            let lpn = COLD_BASE + (cold_cursor * 8) % COLD_SPAN_PAGES;
+            cold_cursor += 1;
+            reqs.push(IoRequest::new(ts, lpn, 8, IoOp::Read));
+        }
+    }
+    Trace::from_requests("skewed-coop", reqs)
 }
 
 /// A 6-workload subset used where running all 14 would make a sweep
@@ -153,6 +201,71 @@ mod tests {
         assert_eq!(hm_config().num_devices(), 2);
         assert_eq!(hml_config().num_devices(), 3);
         assert_eq!(hml_ssd_config().num_devices(), 3);
+    }
+
+    #[test]
+    fn skewed_coop_trace_is_skewed_and_deterministic() {
+        let a = skewed_coop_trace(2_000, 7);
+        let b = skewed_coop_trace(2_000, 7);
+        assert_eq!(a.requests(), b.requests(), "generator must be seeded");
+        assert_ne!(
+            a.requests(),
+            skewed_coop_trace(2_000, 8).requests(),
+            "seed must re-roll the workload"
+        );
+        // The hot half is region-skewed: the most popular shard partition
+        // should see far more hot requests than the least popular.
+        let mut per_shard = vec![0u64; 4];
+        for r in a.iter().filter(|r| r.lpn < 32 * 64) {
+            per_shard[sibyl_serve::shard_of(r.lpn, 4)] += 1;
+        }
+        let (min, max) = (
+            per_shard.iter().min().copied().unwrap_or(0),
+            per_shard.iter().max().copied().unwrap_or(0),
+        );
+        assert!(
+            max > 2 * min.max(1),
+            "hot traffic should partition unevenly: {per_shard:?}"
+        );
+    }
+
+    /// The sec12_coop acceptance pin: on the skew-partitioned mix at 4
+    /// shards, federated weight averaging strictly beats independent
+    /// per-shard agents on aggregate latency (and shared replay on
+    /// fast-placement preference). Settings mirror the bench target at a
+    /// test-sized request count.
+    #[test]
+    fn cooperation_beats_independent_on_skewed_partition() {
+        use sibyl_serve::{CoopConfig, CoopMode, ServeConfig};
+        use sibyl_sim::CoopExperiment;
+
+        let trace = skewed_coop_trace(6_000, 42);
+        let sibyl = sibyl_core::SibylConfig {
+            train_interval: 250,
+            ..Default::default()
+        };
+        let base = ServeConfig::new(hm_config())
+            .with_shards(4)
+            .with_max_batch(16)
+            .with_time_scale(40.0)
+            .with_nn_ns_per_mac(20.0)
+            .with_coop(
+                CoopConfig::default()
+                    .with_sync_period(8)
+                    .with_share_fraction(0.5),
+            )
+            .with_sibyl(sibyl);
+        let report = CoopExperiment::new(base, trace).run_all().unwrap();
+        let norm = report.normalized_latency(CoopMode::WeightAverage);
+        assert!(
+            norm < 1.0,
+            "weight averaging should serve the skewed mix faster: norm lat {norm:.3}"
+        );
+        let gain = report.hit_rate_gain(CoopMode::SharedReplay);
+        assert!(
+            gain > 0.0,
+            "shared replay should raise fast-placement preference: {gain:+.3}"
+        );
     }
 
     #[test]

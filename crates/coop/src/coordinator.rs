@@ -1,0 +1,338 @@
+//! The deterministic cooperation coordinator: a generation barrier with
+//! dynamic membership, plus the per-round exchange of weights and
+//! experiences.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use sibyl_core::Experience;
+use sibyl_nn::mean_params;
+
+use crate::config::CoopConfig;
+
+/// What one member receives when a sync round releases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncOutcome {
+    /// The federated average of all contributing members' parameters, in
+    /// member-index order — `None` when no contributor deposited weights
+    /// (e.g. a pure shared-replay round).
+    pub weights: Option<Vec<f32>>,
+    /// All *other* members' published experiences this round,
+    /// concatenated in member-index order.
+    pub shared: Vec<Experience>,
+    /// How many members contributed to this round.
+    pub contributors: usize,
+    /// The 1-based index of the released round.
+    pub round: u64,
+}
+
+/// Per-round state behind the coordinator's mutex.
+#[derive(Debug)]
+struct State {
+    /// Members still registered (not yet left).
+    members: usize,
+    /// Members that have deposited for the pending round.
+    arrived: usize,
+    /// Increments at every release; waiters block until it moves.
+    generation: u64,
+    /// Deposited training-net parameters, indexed by member.
+    weight_slots: Vec<Option<Vec<f32>>>,
+    /// Deposited experiences, indexed by member. `Some` marks arrival
+    /// (possibly with an empty vector).
+    exp_slots: Vec<Option<Vec<Experience>>>,
+    /// Results of the most recently released round. Kept valid until the
+    /// next release, which cannot happen before every participant of the
+    /// current round has woken, read them, and arrived again (or left).
+    round_weights: Option<Arc<Vec<f32>>>,
+    round_exps: Arc<Vec<(usize, Vec<Experience>)>>,
+}
+
+impl State {
+    /// Releases the pending round: averages deposited weights, snapshots
+    /// deposited experiences in member order, and advances the
+    /// generation. Caller must hold the lock and notify the condvar.
+    fn release(&mut self) {
+        let weight_refs: Vec<&[f32]> = self
+            .weight_slots
+            .iter()
+            .filter_map(|w| w.as_deref())
+            .collect();
+        self.round_weights = if weight_refs.is_empty() {
+            None
+        } else {
+            Some(Arc::new(mean_params(&weight_refs)))
+        };
+        let mut exps = Vec::with_capacity(self.arrived);
+        for (member, slot) in self.exp_slots.iter_mut().enumerate() {
+            if let Some(published) = slot.take() {
+                exps.push((member, published));
+            }
+        }
+        self.round_exps = Arc::new(exps);
+        for w in &mut self.weight_slots {
+            *w = None;
+        }
+        self.arrived = 0;
+        self.generation += 1;
+    }
+
+    /// Builds `member`'s view of the released round.
+    fn outcome_for(&self, member: usize) -> SyncOutcome {
+        SyncOutcome {
+            weights: self.round_weights.as_ref().map(|w| (**w).clone()),
+            shared: self
+                .round_exps
+                .iter()
+                .filter(|(m, _)| *m != member)
+                .flat_map(|(_, exps)| exps.iter().cloned())
+                .collect(),
+            contributors: self.round_exps.len(),
+            round: self.generation,
+        }
+    }
+}
+
+/// A generation barrier over the shard agents of one serving run,
+/// exchanging weights and experiences at logical round boundaries.
+///
+/// Membership is dynamic: [`Coordinator::new`] registers `members`
+/// participants, each identified by its index; a participant whose
+/// request subsequence is exhausted calls [`Coordinator::leave`] and all
+/// later rounds release over the remaining members. Because every
+/// member's round count is a pure function of its deterministic request
+/// partition, the contributor set of round *r* is exactly
+/// `{ m : rounds(m) ≥ r }` regardless of thread scheduling — which makes
+/// every averaged weight vector and every experience redistribution
+/// reproducible bit for bit.
+#[derive(Debug)]
+pub struct Coordinator {
+    config: CoopConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Coordinator {
+    /// Creates a coordinator for `members` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members == 0`.
+    pub fn new(config: CoopConfig, members: usize) -> Arc<Self> {
+        assert!(members > 0, "Coordinator: need at least one member");
+        Arc::new(Coordinator {
+            config,
+            state: Mutex::new(State {
+                members,
+                arrived: 0,
+                generation: 0,
+                weight_slots: vec![None; members],
+                exp_slots: (0..members).map(|_| None).collect(),
+                round_weights: None,
+                round_exps: Arc::new(Vec::new()),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The cooperation configuration this coordinator was built with.
+    pub fn config(&self) -> &CoopConfig {
+        &self.config
+    }
+
+    /// Sync rounds released so far.
+    pub fn rounds(&self) -> u64 {
+        self.state.lock().expect("coordinator poisoned").generation
+    }
+
+    /// Arrives at the pending sync round, depositing this member's
+    /// contribution, and blocks until every still-registered member has
+    /// arrived (or left). Returns the member's view of the released
+    /// round: the federated parameter average and the other members'
+    /// published experiences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range or arrives twice in one round
+    /// (both are engine bugs, not configuration errors).
+    pub fn sync(
+        &self,
+        member: usize,
+        weights: Option<Vec<f32>>,
+        published: Vec<Experience>,
+    ) -> SyncOutcome {
+        let mut state = self.state.lock().expect("coordinator poisoned");
+        assert!(member < state.exp_slots.len(), "sync: member out of range");
+        assert!(
+            state.exp_slots[member].is_none(),
+            "sync: member {member} arrived twice in one round"
+        );
+        let gen = state.generation;
+        state.weight_slots[member] = weights;
+        state.exp_slots[member] = Some(published);
+        state.arrived += 1;
+        if state.arrived == state.members {
+            state.release();
+            self.cv.notify_all();
+        } else {
+            while state.generation == gen {
+                state = self.cv.wait(state).expect("coordinator poisoned");
+            }
+        }
+        state.outcome_for(member)
+    }
+
+    /// Deregisters a member whose request subsequence is exhausted. If
+    /// every remaining member is already waiting at the barrier, the
+    /// round releases without the leaver.
+    ///
+    /// Tolerates a poisoned coordinator (a peer that panicked inside
+    /// [`Coordinator::sync`]): `leave` is what unwinding shard threads
+    /// call from a drop guard, and it must neither hang the remaining
+    /// waiters nor double-panic during unwind — the shard counts it
+    /// updates stay consistent because every state transition in
+    /// [`Coordinator::sync`] is completed before anything that can
+    /// panic.
+    pub fn leave(&self, _member: usize) {
+        let mut state = match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.members -= 1;
+        if state.members > 0 && state.arrived == state.members {
+            state.release();
+            self.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoopMode;
+
+    fn exp(tag: f32) -> Experience {
+        Experience {
+            obs: vec![tag; 4],
+            action: 0,
+            reward: tag,
+            next_obs: vec![tag; 4],
+        }
+    }
+
+    fn weight_avg_config() -> CoopConfig {
+        CoopConfig::new(CoopMode::Both).with_sync_period(1)
+    }
+
+    #[test]
+    fn single_member_round_is_identity() {
+        let c = Coordinator::new(weight_avg_config(), 1);
+        let out = c.sync(0, Some(vec![2.0, 4.0]), vec![exp(1.0)]);
+        assert_eq!(out.weights, Some(vec![2.0, 4.0]));
+        assert!(out.shared.is_empty(), "own experiences never come back");
+        assert_eq!(out.contributors, 1);
+        assert_eq!(out.round, 1);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn two_members_average_and_swap_experiences() {
+        let c = Coordinator::new(weight_avg_config(), 2);
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || c2.sync(1, Some(vec![3.0]), vec![exp(1.0)]));
+        let a = c.sync(0, Some(vec![1.0]), vec![exp(0.0)]);
+        let b = t.join().unwrap();
+        assert_eq!(a.weights, Some(vec![2.0]));
+        assert_eq!(b.weights, Some(vec![2.0]));
+        assert_eq!(a.shared, vec![exp(1.0)], "member 0 gets member 1's");
+        assert_eq!(b.shared, vec![exp(0.0)], "member 1 gets member 0's");
+        assert_eq!(a.contributors, 2);
+    }
+
+    #[test]
+    fn leave_releases_waiting_members() {
+        let c = Coordinator::new(weight_avg_config(), 2);
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || c2.sync(0, Some(vec![5.0]), Vec::new()));
+        // Give the syncing thread time to park at the barrier, then leave.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.leave(1);
+        let out = t.join().unwrap();
+        assert_eq!(out.weights, Some(vec![5.0]), "average over the remainder");
+        assert_eq!(out.contributors, 1);
+    }
+
+    /// Members with different round counts (dynamic membership): the
+    /// contributor set of round r must be { m : rounds(m) >= r } and the
+    /// whole exchange must be identical across runs and schedules.
+    #[test]
+    fn uneven_round_counts_are_deterministic() {
+        let rounds_of = [4u64, 2, 3, 1]; // member i syncs rounds_of[i] times
+        let run = |stagger: bool| -> Vec<Vec<SyncOutcome>> {
+            let c = Coordinator::new(weight_avg_config(), rounds_of.len());
+            let mut handles = Vec::new();
+            for (m, &n) in rounds_of.iter().enumerate() {
+                let c = Arc::clone(&c);
+                handles.push(std::thread::spawn(move || {
+                    let mut outs = Vec::new();
+                    for r in 0..n {
+                        if stagger {
+                            std::thread::sleep(std::time::Duration::from_millis(
+                                (m as u64 * 7 + r) % 13,
+                            ));
+                        }
+                        outs.push(c.sync(
+                            m,
+                            Some(vec![(m as f32 + 1.0) * (r as f32 + 1.0)]),
+                            vec![exp(m as f32 * 100.0 + r as f32)],
+                        ));
+                    }
+                    c.leave(m);
+                    outs
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        };
+        let fast = run(false);
+        let slow = run(true);
+        assert_eq!(fast, slow, "schedule must not affect the exchange");
+        // Round r (1-based) contributors: members with rounds_of >= r.
+        for (m, outs) in fast.iter().enumerate() {
+            for (i, out) in outs.iter().enumerate() {
+                let r = i as u64 + 1;
+                let expected = rounds_of.iter().filter(|&&n| n >= r).count();
+                assert_eq!(
+                    out.contributors, expected,
+                    "member {m} round {r}: contributors"
+                );
+                assert_eq!(out.shared.len(), expected - 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_rejected() {
+        let _ = Coordinator::new(weight_avg_config(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "member out of range")]
+    fn out_of_range_member_rejected() {
+        let c = Coordinator::new(weight_avg_config(), 2);
+        let _ = c.sync(5, None, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_rejected() {
+        // A second deposit from an already-arrived member cannot happen
+        // through a correct engine (sync blocks), so plant the arrived
+        // state directly and assert the guard fires.
+        let c = Coordinator::new(weight_avg_config(), 2);
+        {
+            let mut st = c.state.lock().unwrap();
+            st.exp_slots[0] = Some(Vec::new());
+            st.arrived = 1;
+        }
+        let _ = c.sync(0, None, Vec::new());
+    }
+}

@@ -1,0 +1,64 @@
+//! # sibyl-coop
+//!
+//! The multi-agent cooperation layer for the Sibyl reproduction — the
+//! Harmonia direction from PAPERS.md: when traffic is partitioned across
+//! shards (as in `sibyl-serve`), each shard trains a private agent on its
+//! own slice of the workload and, without cooperation, relearns what its
+//! neighbors already know. This crate lets shard agents cooperate while
+//! keeping the workspace's hard determinism guarantee.
+//!
+//! Two cooperation mechanisms, selected by [`CoopMode`]:
+//!
+//! - **Shared replay** ([`CoopMode::SharedReplay`]): each agent publishes
+//!   a configurable fraction of its experiences (a deterministic stride —
+//!   see `sibyl_core::SibylAgent::set_experience_tap`) into a global pool
+//!   that is redistributed at sync rounds: every agent absorbs all
+//!   *other* agents' published experiences, in member-index order.
+//! - **Weight averaging** ([`CoopMode::WeightAverage`]): at each sync
+//!   round all participating agents' training-network parameters are
+//!   federated-averaged (`sibyl_nn::mean_params`) and every participant
+//!   adopts the mean.
+//!
+//! [`CoopMode::Both`] combines the two; [`CoopMode::Independent`] is
+//! today's baseline — no coordinator is even constructed, so independent
+//! runs stay bit-identical to a cooperation-free engine.
+//!
+//! ## Determinism
+//!
+//! Synchronization happens at **logical round boundaries**, never on
+//! wall-clock time: a member arrives at the [`Coordinator`] after every
+//! `sync_period` inference rounds of its own request subsequence. The
+//! coordinator is a generation barrier with *dynamic membership*: a round
+//! releases when every still-registered member has arrived, and a member
+//! whose subsequence is exhausted [leaves](Coordinator::leave) instead of
+//! arriving. Because each member's total round count is a pure function
+//! of its (deterministic) request partition, the set of contributors in
+//! every round — and therefore every average and every redistribution —
+//! is identical across runs and thread schedules.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use sibyl_coop::{CoopConfig, CoopMode, Coordinator};
+//!
+//! let config = CoopConfig::new(CoopMode::WeightAverage).with_sync_period(4);
+//! config.validate().unwrap();
+//! let coord = Coordinator::new(config, 2);
+//! // Two members contribute weights from their own threads; here,
+//! // member 1 arrives first and blocks — so we demonstrate with the
+//! // single-member degenerate case instead:
+//! let solo = Coordinator::new(CoopConfig::new(CoopMode::WeightAverage), 1);
+//! let out = solo.sync(0, Some(vec![1.0, 3.0]), Vec::new());
+//! assert_eq!(out.weights, Some(vec![1.0, 3.0])); // mean of one
+//! assert_eq!(out.contributors, 1);
+//! # drop(coord);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod coordinator;
+
+pub use config::{CoopConfig, CoopConfigError, CoopMode};
+pub use coordinator::{Coordinator, SyncOutcome};

@@ -35,6 +35,11 @@ pub struct AgentStats {
     pub train_steps: u64,
     /// Training→inference weight synchronizations.
     pub weight_syncs: u64,
+    /// Experiences copied out through the experience tap toward a shared
+    /// (cross-agent) replay pool.
+    pub shared_published: u64,
+    /// Foreign experiences absorbed from a shared replay pool.
+    pub shared_absorbed: u64,
 }
 
 /// Where training runs (resolved from [`TrainingMode`]).
@@ -88,6 +93,14 @@ pub struct SibylAgent {
     stats: AgentStats,
     pushes_seen: u64,
     next_train_at: u64,
+    /// Experience-tap share fraction (0 = tap disabled).
+    tap_fraction: f64,
+    /// Fractional-stride accumulator of the tap (deterministic selection:
+    /// an experience is published whenever the accumulator crosses 1).
+    tap_acc: f64,
+    /// Experiences selected by the tap since the last
+    /// [`SibylAgent::take_published`].
+    tapped: Vec<Experience>,
 }
 
 impl SibylAgent {
@@ -110,6 +123,9 @@ impl SibylAgent {
             stats: AgentStats::default(),
             pushes_seen: 0,
             next_train_at,
+            tap_fraction: 0.0,
+            tap_acc: 0.0,
+            tapped: Vec::new(),
         }
     }
 
@@ -172,6 +188,18 @@ impl SibylAgent {
     fn push_experience(&mut self, exp: Experience) {
         self.stats.experiences += 1;
         self.pushes_seen += 1;
+        // Experience tap: deterministic stride selection — publish one
+        // experience each time the fractional accumulator crosses 1, so a
+        // fraction of f publishes every ⌈1/f⌉-th experience with no RNG
+        // draw (the tap must not perturb the ε-greedy stream).
+        if self.tap_fraction > 0.0 {
+            self.tap_acc += self.tap_fraction;
+            if self.tap_acc >= 1.0 {
+                self.tap_acc -= 1.0;
+                self.tapped.push(exp.clone());
+                self.stats.shared_published += 1;
+            }
+        }
         let due = self.pushes_seen >= self.next_train_at;
         if due {
             self.next_train_at += self.config.train_interval;
@@ -334,6 +362,86 @@ impl SibylAgent {
             });
         }
         self.pending = last;
+    }
+
+    /// Enables (or, with `0.0`, disables) the experience tap: the given
+    /// fraction of subsequently collected experiences is copied aside for
+    /// a shared replay pool, retrievable with
+    /// [`SibylAgent::take_published`]. Selection is a deterministic
+    /// stride over the experience sequence — no RNG is consumed, so
+    /// enabling the tap never changes the agent's decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn set_experience_tap(&mut self, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "set_experience_tap: fraction must be in [0, 1]"
+        );
+        self.tap_fraction = fraction;
+    }
+
+    /// Drains the experiences the tap selected since the last call (empty
+    /// when the tap is disabled).
+    pub fn take_published(&mut self) -> Vec<Experience> {
+        std::mem::take(&mut self.tapped)
+    }
+
+    /// Pushes foreign experiences (another agent's transitions from a
+    /// shared replay pool) into this agent's replay buffer. They become
+    /// sampling candidates for future training steps but do **not**
+    /// advance the training schedule — only locally collected experiences
+    /// trigger training — and the buffer's deduplication applies as
+    /// usual. No-op in [`TrainingMode::Background`] (the trainer owns the
+    /// buffer) and before the first decision (no runtime yet).
+    pub fn absorb_experiences(&mut self, exps: &[Experience]) {
+        let Some(rt) = self.runtime.as_mut() else {
+            return;
+        };
+        if let Engine::Synchronous(learner) = &mut rt.engine {
+            for exp in exps {
+                learner.push(exp.clone());
+            }
+            self.stats.shared_absorbed += exps.len() as u64;
+        }
+    }
+
+    /// The training network's flat parameters — this agent's contribution
+    /// to cooperative weight averaging. `None` before the first decision
+    /// (no runtime yet) or in [`TrainingMode::Background`] (the trainer
+    /// thread owns the training network).
+    pub fn export_weights(&self) -> Option<Vec<f32>> {
+        let rt = self.runtime.as_ref()?;
+        match &rt.engine {
+            Engine::Synchronous(learner) => Some(learner.flat_params()),
+            Engine::Background(_) => None,
+        }
+    }
+
+    /// Adopts externally averaged parameters: overwrites the training,
+    /// bootstrap-target, *and* inference networks, so the next decision
+    /// and the next training step both start from the adopted weights.
+    /// Returns `false` (and changes nothing) before the first decision or
+    /// in [`TrainingMode::Background`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the network's parameter
+    /// count.
+    pub fn import_weights(&mut self, params: &[f32]) -> bool {
+        let Some(rt) = self.runtime.as_mut() else {
+            return false;
+        };
+        match &mut rt.engine {
+            Engine::Synchronous(learner) => {
+                learner.set_flat_params(params);
+                rt.inference_net.set_flat_params(params);
+                self.stats.weight_syncs += 1;
+                true
+            }
+            Engine::Background(_) => false,
+        }
     }
 
     /// Changes the learning rate online (synchronous mode only; the
@@ -714,6 +822,117 @@ mod tests {
         let reqs = hot_cold_stream(4);
         let _ = agent.place_batch(&reqs, &mgr);
         let _ = agent.place_batch(&reqs, &mgr);
+    }
+
+    #[test]
+    fn experience_tap_publishes_requested_fraction() {
+        let mut mgr = manager(512);
+        let mut agent = SibylAgent::new(fast_test_config());
+        agent.set_experience_tap(0.25);
+        drive(&mut agent, &mut mgr, &hot_cold_stream(800));
+        let published = agent.take_published();
+        let st = agent.stats();
+        assert_eq!(st.shared_published, published.len() as u64);
+        let frac = published.len() as f64 / st.experiences as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.01,
+            "tap fraction {frac} (published {})",
+            published.len()
+        );
+        // Drained: a second take is empty until new experiences arrive.
+        assert!(agent.take_published().is_empty());
+    }
+
+    #[test]
+    fn experience_tap_does_not_change_decisions() {
+        let run = |fraction: f64| {
+            let mut mgr = manager(256);
+            let mut agent = SibylAgent::new(fast_test_config());
+            agent.set_experience_tap(fraction);
+            drive(&mut agent, &mut mgr, &hot_cold_stream(600));
+            (mgr.stats().avg_latency_us(), agent.stats().explorations)
+        };
+        assert_eq!(
+            run(0.0),
+            run(0.5),
+            "the tap must be invisible to the decision path"
+        );
+    }
+
+    #[test]
+    fn absorbed_experiences_enter_buffer_without_advancing_schedule() {
+        let mut mgr = manager(512);
+        let mut agent = SibylAgent::new(fast_test_config());
+        drive(&mut agent, &mut mgr, &hot_cold_stream(64));
+        let foreign: Vec<Experience> = (0..10)
+            .map(|i| Experience {
+                obs: vec![0.9 - i as f32 * 0.01; 6],
+                action: i % 2,
+                reward: 0.5,
+                next_obs: vec![0.8; 6],
+            })
+            .collect();
+        let before_steps = agent.stats().train_steps;
+        let before_exps = agent.stats().experiences;
+        agent.absorb_experiences(&foreign);
+        assert_eq!(agent.stats().shared_absorbed, 10);
+        assert_eq!(agent.stats().train_steps, before_steps);
+        assert_eq!(
+            agent.stats().experiences,
+            before_exps,
+            "foreign experiences must not count as local collections"
+        );
+    }
+
+    #[test]
+    fn absorb_before_first_decision_is_a_noop() {
+        let mut agent = SibylAgent::new(fast_test_config());
+        agent.absorb_experiences(&[Experience {
+            obs: vec![0.0; 6],
+            action: 0,
+            reward: 1.0,
+            next_obs: vec![0.0; 6],
+        }]);
+        assert_eq!(agent.stats().shared_absorbed, 0);
+    }
+
+    #[test]
+    fn weight_export_import_roundtrip_syncs_agents() {
+        let mut mgr_a = manager(256);
+        let mut mgr_b = manager(256);
+        let mut a = SibylAgent::new(fast_test_config());
+        let mut cfg_b = fast_test_config();
+        cfg_b.seed ^= 0xDEAD_BEEF;
+        let mut b = SibylAgent::new(cfg_b);
+        drive(&mut a, &mut mgr_a, &hot_cold_stream(300));
+        drive(&mut b, &mut mgr_b, &hot_cold_stream(300));
+        let wa = a.export_weights().expect("synchronous agent exports");
+        let wb = b.export_weights().expect("synchronous agent exports");
+        assert_ne!(wa, wb, "independently trained nets should differ");
+        let syncs_before = b.stats().weight_syncs;
+        assert!(b.import_weights(&wa));
+        assert_eq!(b.export_weights().unwrap(), wa);
+        assert_eq!(b.stats().weight_syncs, syncs_before + 1);
+    }
+
+    #[test]
+    fn weight_export_unavailable_before_runtime_and_in_background() {
+        let agent = SibylAgent::new(fast_test_config());
+        assert!(agent.export_weights().is_none());
+        let mut cfg = fast_test_config();
+        cfg.training_mode = TrainingMode::Background;
+        let mut bg = SibylAgent::new(cfg);
+        let mut mgr = manager(256);
+        drive(&mut bg, &mut mgr, &hot_cold_stream(50));
+        assert!(bg.export_weights().is_none());
+        assert!(!bg.import_weights(&[0.0; 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn tap_rejects_bad_fraction() {
+        let mut agent = SibylAgent::new(fast_test_config());
+        agent.set_experience_tap(1.5);
     }
 
     #[test]

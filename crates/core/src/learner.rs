@@ -213,6 +213,26 @@ impl Learner {
         self.train_net.clone()
     }
 
+    /// Flat training-network parameters (weights then biases, layer by
+    /// layer) — the agent's contribution to cooperative weight averaging.
+    pub(crate) fn flat_params(&self) -> Vec<f32> {
+        self.train_net.flat_params()
+    }
+
+    /// Overwrites the training network *and* the bootstrap target with
+    /// `params`, so the next training step bootstraps from the adopted
+    /// (e.g. federated-averaged) weights rather than chasing stale ones.
+    /// Optimizer state (Adam moments) is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the network's parameter
+    /// count.
+    pub(crate) fn set_flat_params(&mut self, params: &[f32]) {
+        self.train_net.set_flat_params(params);
+        self.target_net.set_flat_params(params);
+    }
+
     /// Changes the learning rate online (Sibyl_Opt retuning, §8.3).
     pub(crate) fn set_learning_rate(&mut self, lr: f32) {
         self.opt.set_learning_rate(lr);

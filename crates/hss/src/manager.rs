@@ -326,6 +326,26 @@ impl StorageManager {
     ///
     /// Panics if `target` is out of range.
     pub fn access(&mut self, req: &IoRequest, target: DeviceId) -> AccessOutcome {
+        self.access_after(req, target, 0.0)
+    }
+
+    /// Serves `req` like [`StorageManager::access`], but with device
+    /// dispatch held back by `delay_us` after the request's (closed-loop
+    /// bounded) arrival — modeling time spent *deciding* the placement,
+    /// e.g. the serving engine's amortized NN-inference charge. Unlike a
+    /// shifted timestamp, the delay counts toward the request's reported
+    /// latency: latency is measured from the arrival, while device
+    /// service cannot start before `arrival + delay_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn access_after(
+        &mut self,
+        req: &IoRequest,
+        target: DeviceId,
+        delay_us: f64,
+    ) -> AccessOutcome {
         assert!(
             target.0 < self.devices.len(),
             "access: target {target} out of range"
@@ -344,9 +364,10 @@ impl StorageManager {
         }
         self.stats.placements[target.0] += 1;
 
+        let dispatch = arrival + delay_us.max(0.0);
         let (completion, migrated) = match req.op {
-            IoOp::Read => self.serve_read(req, target, arrival),
-            IoOp::Write => self.serve_write(req, target, arrival),
+            IoOp::Read => self.serve_read(req, target, dispatch),
+            IoOp::Write => self.serve_write(req, target, dispatch),
         };
         let latency = completion - arrival;
 
@@ -704,6 +725,37 @@ mod tests {
             tail_avg < 6.0 * hdd_random,
             "queueing unbounded: tail avg {tail_avg} µs"
         );
+    }
+
+    #[test]
+    fn access_after_charges_decision_delay_into_latency() {
+        let mut a = dual_manager(100);
+        let mut b = dual_manager(100);
+        let req = rd(1_000, 5, 1);
+        let plain = a.access(&req, DeviceId(1));
+        let delayed = b.access_after(&req, DeviceId(1), 25.0);
+        assert!(
+            (delayed.latency_us - plain.latency_us - 25.0).abs() < 1e-9,
+            "decision delay must appear in latency: {} vs {}",
+            delayed.latency_us,
+            plain.latency_us
+        );
+        assert_eq!(delayed.arrival_us, plain.arrival_us);
+        assert!((delayed.completion_us - plain.completion_us - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_after_zero_delay_matches_access() {
+        let mut a = dual_manager(8);
+        let mut b = dual_manager(8);
+        for i in 0..50u64 {
+            let req = wr(i * 10, i * 3, 2);
+            assert_eq!(
+                a.access(&req, DeviceId(0)),
+                b.access_after(&req, DeviceId(0), 0.0)
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -61,7 +61,7 @@ mod rnn;
 
 pub use activation::Activation;
 pub use dense::Dense;
-pub use mlp::Mlp;
+pub use mlp::{mean_params, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use rnn::Rnn;
 

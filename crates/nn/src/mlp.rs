@@ -220,12 +220,70 @@ impl Mlp {
         out
     }
 
+    /// Restores all parameters from a flat vector produced by
+    /// [`Mlp::flat_params`] (weights then biases, layer by layer) — the
+    /// dual operation, used by checkpoint restore and by the cooperation
+    /// layer's federated weight averaging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != self.num_params()`.
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.num_params(),
+            "Mlp::set_flat_params: parameter count mismatch"
+        );
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let (w, b) = layer.params_mut();
+            w.copy_from_slice(&flat[off..off + w.len()]);
+            off += w.len();
+            b.copy_from_slice(&flat[off..off + b.len()]);
+            off += b.len();
+        }
+    }
+
     /// Restores internal buffers after deserialization.
     pub fn ensure_buffers(&mut self) {
         for layer in &mut self.layers {
             layer.ensure_buffers();
         }
     }
+}
+
+/// Element-wise mean of parameter vectors (federated averaging across
+/// cooperating agents' networks).
+///
+/// Computed baseline-relative — `out[j] = s₀[j] + (Σᵢ (sᵢ[j] − s₀[j])) / n`
+/// — which is the exact arithmetic mean, but with two properties plain
+/// summation lacks: averaging `n` *identical* vectors returns the input
+/// bit-for-bit (every difference term is exactly zero), and for the
+/// near-agreeing parameter sets weight averaging produces in practice the
+/// summation happens on small differences instead of large magnitudes,
+/// avoiding cancellation. The fold order is the slice order, so the
+/// result is deterministic for a fixed input order.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or the vectors' lengths differ.
+pub fn mean_params(sources: &[&[f32]]) -> Vec<f32> {
+    assert!(!sources.is_empty(), "mean_params: no sources");
+    let base = sources[0];
+    assert!(
+        sources.iter().all(|s| s.len() == base.len()),
+        "mean_params: length mismatch"
+    );
+    let inv_n = 1.0f32 / sources.len() as f32;
+    let mut out = base.to_vec();
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut diff = 0.0f32;
+        for s in &sources[1..] {
+            diff += s[j] - base[j];
+        }
+        *o += diff * inv_n;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -377,6 +435,64 @@ mod tests {
     }
 
     #[test]
+    fn set_flat_params_roundtrips() {
+        let src = Mlp::new(
+            &[4, 7, 3],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(20),
+        );
+        let mut dst = Mlp::new(
+            &[4, 7, 3],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(21),
+        );
+        let x = [0.4, -0.2, 0.9, 0.1];
+        assert_ne!(src.infer(&x), dst.infer(&x));
+        dst.set_flat_params(&src.flat_params());
+        assert_eq!(src.infer(&x), dst.infer(&x));
+        assert_eq!(src.flat_params(), dst.flat_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn set_flat_params_rejects_wrong_length() {
+        let mut net = Mlp::new(
+            &[3, 4, 2],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(22),
+        );
+        net.set_flat_params(&[0.0; 3]);
+    }
+
+    #[test]
+    fn mean_params_averages_two_vectors() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [3.0f32, 0.0, 5.0];
+        assert_eq!(mean_params(&[&a, &b]), vec![2.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_params_single_source_is_identity() {
+        let a = [0.1f32, -0.7, 3.3];
+        assert_eq!(mean_params(&[&a]), a.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "no sources")]
+    fn mean_params_rejects_empty() {
+        let _ = mean_params(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mean_params_rejects_ragged() {
+        let _ = mean_params(&[&[1.0, 2.0], &[1.0]]);
+    }
+
+    #[test]
     fn forward_batch_of_one_matches_infer() {
         let net = Mlp::new(
             &[6, 20, 30, 4],
@@ -401,6 +517,28 @@ mod tests {
     }
 
     proptest! {
+        /// Averaging N copies of the same network is bit-identical to the
+        /// input — the invariant the cooperation layer's weight-averaging
+        /// relies on so that already-converged shards are not perturbed by
+        /// a sync round.
+        #[test]
+        fn mean_of_identical_params_is_identity(seed in 0u64..200, n in 1usize..9) {
+            let mut r = rng(seed);
+            let net = Mlp::new(
+                &[5, 12, 7, 3],
+                Activation::Swish,
+                Activation::Linear,
+                &mut r,
+            );
+            let flat = net.flat_params();
+            let sources: Vec<&[f32]> = (0..n).map(|_| flat.as_slice()).collect();
+            let mean = mean_params(&sources);
+            prop_assert_eq!(
+                mean.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                flat.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
         /// Batched inference is bit-identical to the per-request path for
         /// random weights, inputs, and batch sizes — the guarantee the
         /// serving engine's batched C51 decisions rest on.

@@ -1,18 +1,24 @@
 //! Configuration of the sharded serving engine.
 
-use sibyl_core::SibylConfig;
+use sibyl_coop::CoopConfig;
+use sibyl_core::{SibylConfig, TrainingMode};
 use sibyl_hss::HssConfig;
 
+use crate::engine::ServeError;
+
 /// Configuration of a sharded serving run: how many worker shards to
-/// spawn, how deep each shard's inference batches may grow, and the
-/// per-shard storage and agent configurations.
+/// spawn, how deep each shard's inference batches may grow, how (and
+/// whether) shard agents cooperate, and the per-shard storage and agent
+/// configurations.
 ///
 /// Every shard owns a private [`sibyl_hss::StorageManager`] (its own
 /// devices) plus a private [`sibyl_core::SibylAgent`] seeded from
 /// [`SibylConfig::seed`] and the shard index, so an `N`-shard engine
-/// models a scale-out deployment of `N` independent hybrid-storage nodes,
-/// each serving its own partition of the LBA regions (see
-/// [`crate::shard_of`] for the boundary-straddle caveat).
+/// models a scale-out deployment of `N` hybrid-storage nodes, each
+/// serving its own partition of the LBA regions (see [`crate::shard_of`]
+/// for the boundary-straddle caveat). With a cooperative
+/// [`CoopConfig::mode`] the nodes additionally exchange experiences
+/// and/or federated-averaged weights at deterministic sync rounds.
 ///
 /// # Examples
 ///
@@ -23,7 +29,7 @@ use sibyl_hss::HssConfig;
 /// let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
 /// let cfg = ServeConfig::new(hss).with_shards(4).with_max_batch(64);
 /// assert_eq!(cfg.shards, 4);
-/// cfg.validate();
+/// cfg.validate().unwrap();
 /// ```
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -35,13 +41,38 @@ pub struct ServeConfig {
     /// deterministic regardless of thread scheduling.
     pub max_batch: usize,
     /// Capacity of each shard's bounded request channel (router
-    /// backpressure). Default: 1024.
+    /// backpressure). Default: 1024. Ignored under a cooperative
+    /// [`CoopConfig::mode`]: sync barriers must never backpressure the
+    /// router (a full queue behind a barrier-parked shard would deadlock
+    /// the run), so cooperative runs use unbounded queues.
     pub queue_capacity: usize,
     /// Trace-replay time compression, as in the sim crate's
     /// `Experiment::with_time_scale`: every timestamp is divided by this
     /// factor, putting the system in the device-bound regime where
     /// throughput differentiates. Default: 1.0 (no compression).
     pub time_scale: f64,
+    /// Simulated NN-inference cost in nanoseconds per multiply-accumulate
+    /// (the §10 overhead model). When positive, each batch is charged one
+    /// forward pass — `inference_macs × nn_ns_per_mac` — amortized over
+    /// the batch: batched inference streams the weight matrices once per
+    /// *batch*, so the per-request placement-decision delay shrinks as
+    /// batches grow, and serve metrics show the batching win in latency
+    /// rather than IOPS alone. The delay holds back device dispatch and
+    /// counts toward each request's reported latency
+    /// (`StorageManager::access_after`); it is not compressed by
+    /// [`ServeConfig::time_scale`] (thinking time compresses; compute
+    /// does not). Default: 0.0 (inference is free, as before the
+    /// overhead model was coupled in).
+    pub nn_ns_per_mac: f64,
+    /// When positive, every shard samples a learning-curve point
+    /// (cumulative average latency, fast-placement fraction) every
+    /// `curve_every` batches into [`crate::ShardReport::curve`].
+    /// Default: 0 (disabled).
+    pub curve_every: u64,
+    /// How shard agents cooperate (shared replay / weight averaging /
+    /// both). Default: [`sibyl_coop::CoopMode::Independent`] — no
+    /// cooperation, bit-identical to an engine without the layer.
+    pub coop: CoopConfig,
     /// The hybrid-storage configuration instantiated per shard. Fraction
     /// capacities resolve against each shard's own footprint.
     pub hss: HssConfig,
@@ -52,14 +83,17 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Creates a serving configuration with default sharding (4 shards,
-    /// batches of up to 32) over the given storage configuration and the
-    /// paper's default agent hyper-parameters.
+    /// batches of up to 32, no cooperation) over the given storage
+    /// configuration and the paper's default agent hyper-parameters.
     pub fn new(hss: HssConfig) -> Self {
         ServeConfig {
             shards: 4,
             max_batch: 32,
             queue_capacity: 1024,
             time_scale: 1.0,
+            nn_ns_per_mac: 0.0,
+            curve_every: 0,
+            coop: CoopConfig::default(),
             hss,
             sibyl: SibylConfig::default(),
         }
@@ -84,16 +118,27 @@ impl ServeConfig {
     }
 
     /// Sets the replay time compression (>1 compresses think time).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `scale` is not positive and finite.
     pub fn with_time_scale(mut self, scale: f64) -> Self {
-        assert!(
-            scale.is_finite() && scale > 0.0,
-            "time scale must be positive"
-        );
         self.time_scale = scale;
+        self
+    }
+
+    /// Sets the simulated NN-inference cost (ns per MAC; 0 disables).
+    pub fn with_nn_ns_per_mac(mut self, ns_per_mac: f64) -> Self {
+        self.nn_ns_per_mac = ns_per_mac;
+        self
+    }
+
+    /// Enables learning-curve sampling every `batches` batches per shard
+    /// (0 disables).
+    pub fn with_curve_every(mut self, batches: u64) -> Self {
+        self.curve_every = batches;
+        self
+    }
+
+    /// Replaces the cooperation configuration.
+    pub fn with_coop(mut self, coop: CoopConfig) -> Self {
+        self.coop = coop;
         self
     }
 
@@ -111,32 +156,48 @@ impl ServeConfig {
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1))
     }
 
-    /// Validates ranges (including the embedded agent configuration).
+    /// Validates ranges, returning a descriptive [`ServeError`] for
+    /// degenerate settings (0 shards, 0-deep batches, a cooperative mode
+    /// with a zero sync period, …) instead of panicking mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
     ///
     /// # Panics
     ///
-    /// Panics if any knob is outside its documented range.
-    pub fn validate(&self) {
-        assert!(self.shards > 0, "ServeConfig: shards must be positive");
-        assert!(
-            self.max_batch > 0,
-            "ServeConfig: max_batch must be positive"
-        );
-        assert!(
-            self.queue_capacity > 0,
-            "ServeConfig: queue_capacity must be positive"
-        );
-        assert!(
-            self.time_scale.is_finite() && self.time_scale > 0.0,
-            "ServeConfig: time_scale must be positive"
-        );
+    /// The embedded [`SibylConfig`] still validates by panicking
+    /// (see [`SibylConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::ZeroShards);
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::ZeroMaxBatch);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::ZeroQueueCapacity);
+        }
+        if !(self.time_scale.is_finite() && self.time_scale > 0.0) {
+            return Err(ServeError::InvalidTimeScale);
+        }
+        if !(self.nn_ns_per_mac.is_finite() && self.nn_ns_per_mac >= 0.0) {
+            return Err(ServeError::InvalidNnCost);
+        }
+        self.coop.validate().map_err(ServeError::Coop)?;
+        if self.coop.mode.is_cooperative() && self.sibyl.training_mode != TrainingMode::Synchronous
+        {
+            return Err(ServeError::CoopRequiresSynchronousTraining);
+        }
         self.sibyl.validate();
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sibyl_coop::{CoopConfigError, CoopMode};
     use sibyl_hss::DeviceSpec;
 
     fn hss() -> HssConfig {
@@ -148,7 +209,9 @@ mod tests {
         let cfg = ServeConfig::new(hss());
         assert_eq!(cfg.shards, 4);
         assert_eq!(cfg.max_batch, 32);
-        cfg.validate();
+        assert_eq!(cfg.nn_ns_per_mac, 0.0);
+        assert_eq!(cfg.coop.mode, CoopMode::Independent);
+        cfg.validate().unwrap();
     }
 
     #[test]
@@ -157,12 +220,18 @@ mod tests {
             .with_shards(8)
             .with_max_batch(4)
             .with_queue_capacity(64)
-            .with_time_scale(40.0);
+            .with_time_scale(40.0)
+            .with_nn_ns_per_mac(2.0)
+            .with_curve_every(16)
+            .with_coop(CoopConfig::new(CoopMode::Both).with_sync_period(4));
         assert_eq!(cfg.shards, 8);
         assert_eq!(cfg.max_batch, 4);
         assert_eq!(cfg.queue_capacity, 64);
         assert_eq!(cfg.time_scale, 40.0);
-        cfg.validate();
+        assert_eq!(cfg.nn_ns_per_mac, 2.0);
+        assert_eq!(cfg.curve_every, 16);
+        assert_eq!(cfg.coop.mode, CoopMode::Both);
+        cfg.validate().unwrap();
     }
 
     #[test]
@@ -173,14 +242,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shards must be positive")]
-    fn zero_shards_rejected() {
-        ServeConfig::new(hss()).with_shards(0).validate();
+    fn degenerate_settings_return_descriptive_errors() {
+        assert_eq!(
+            ServeConfig::new(hss()).with_shards(0).validate(),
+            Err(ServeError::ZeroShards)
+        );
+        assert_eq!(
+            ServeConfig::new(hss()).with_max_batch(0).validate(),
+            Err(ServeError::ZeroMaxBatch)
+        );
+        assert_eq!(
+            ServeConfig::new(hss()).with_queue_capacity(0).validate(),
+            Err(ServeError::ZeroQueueCapacity)
+        );
+        assert_eq!(
+            ServeConfig::new(hss()).with_time_scale(0.0).validate(),
+            Err(ServeError::InvalidTimeScale)
+        );
+        assert_eq!(
+            ServeConfig::new(hss()).with_time_scale(f64::NAN).validate(),
+            Err(ServeError::InvalidTimeScale)
+        );
+        assert_eq!(
+            ServeConfig::new(hss()).with_nn_ns_per_mac(-1.0).validate(),
+            Err(ServeError::InvalidNnCost)
+        );
+        assert_eq!(
+            ServeConfig::new(hss())
+                .with_coop(CoopConfig::new(CoopMode::WeightAverage).with_sync_period(0))
+                .validate(),
+            Err(ServeError::Coop(CoopConfigError::ZeroSyncPeriod))
+        );
+        assert_eq!(
+            ServeConfig::new(hss())
+                .with_coop(CoopConfig::new(CoopMode::SharedReplay).with_share_fraction(0.0))
+                .validate(),
+            Err(ServeError::Coop(CoopConfigError::InvalidShareFraction))
+        );
     }
 
     #[test]
-    #[should_panic(expected = "max_batch must be positive")]
-    fn zero_batch_rejected() {
-        ServeConfig::new(hss()).with_max_batch(0).validate();
+    fn cooperative_modes_require_synchronous_training() {
+        let mut cfg = ServeConfig::new(hss()).with_coop(CoopConfig::new(CoopMode::WeightAverage));
+        cfg.sibyl.training_mode = sibyl_core::TrainingMode::Background;
+        assert_eq!(
+            cfg.validate(),
+            Err(ServeError::CoopRequiresSynchronousTraining)
+        );
+        // Background training stays fine without cooperation.
+        let mut indep = ServeConfig::new(hss());
+        indep.sibyl.training_mode = sibyl_core::TrainingMode::Background;
+        indep.validate().unwrap();
     }
 }

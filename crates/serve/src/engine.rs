@@ -1,26 +1,69 @@
-//! The sharded serving engine: LBA-hash routing, per-shard workers, and
-//! batched-inference request draining.
+//! The sharded serving engine: LBA-hash routing, per-shard workers,
+//! batched-inference request draining, and cooperative sync rounds.
 
-use crossbeam::channel::{bounded, Receiver};
+use std::sync::Arc;
 
+use crossbeam::channel::{bounded, unbounded, Receiver};
+
+use sibyl_coop::{CoopConfigError, Coordinator};
 use sibyl_core::SibylAgent;
 use sibyl_hss::{AccessOutcome, StorageManager};
 use sibyl_trace::{IoRequest, Trace};
 
 use crate::config::ServeConfig;
-use crate::report::{ServeReport, ShardReport};
+use crate::report::{CurvePoint, ServeReport, ShardReport};
 
-/// Errors from serving runs.
+/// Errors from serving runs: an unusable trace or a degenerate
+/// configuration ([`ServeConfig::validate`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The trace contains no requests.
     EmptyTrace,
+    /// `shards == 0`: there would be nothing to route to.
+    ZeroShards,
+    /// `max_batch == 0`: a shard could never fill a batch.
+    ZeroMaxBatch,
+    /// `queue_capacity == 0`: the router could never hand off a request.
+    ZeroQueueCapacity,
+    /// `time_scale` is not positive and finite.
+    InvalidTimeScale,
+    /// `nn_ns_per_mac` is negative or not finite.
+    InvalidNnCost,
+    /// The cooperation configuration is degenerate.
+    Coop(CoopConfigError),
+    /// A cooperative mode was combined with
+    /// [`TrainingMode::Background`](sibyl_core::TrainingMode): weight
+    /// export/import and replay absorption need the learner on the shard
+    /// thread, and background trainers would break the determinism the
+    /// sync barriers exist to preserve.
+    CoopRequiresSynchronousTraining,
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::EmptyTrace => write!(f, "trace contains no requests"),
+            ServeError::ZeroShards => write!(f, "ServeConfig: shards must be positive"),
+            ServeError::ZeroMaxBatch => write!(f, "ServeConfig: max_batch must be positive"),
+            ServeError::ZeroQueueCapacity => {
+                write!(f, "ServeConfig: queue_capacity must be positive")
+            }
+            ServeError::InvalidTimeScale => {
+                write!(f, "ServeConfig: time_scale must be positive and finite")
+            }
+            ServeError::InvalidNnCost => {
+                write!(
+                    f,
+                    "ServeConfig: nn_ns_per_mac must be non-negative and finite"
+                )
+            }
+            ServeError::Coop(e) => write!(f, "ServeConfig: {e}"),
+            ServeError::CoopRequiresSynchronousTraining => {
+                write!(
+                    f,
+                    "ServeConfig: cooperative modes require synchronous training"
+                )
+            }
         }
     }
 }
@@ -62,35 +105,55 @@ pub fn shard_of(lpn: u64, shards: usize) -> usize {
 ///
 /// The caller thread acts as the router: it walks the trace in timestamp
 /// order, compresses timestamps by [`ServeConfig::time_scale`], and sends
-/// each request over a bounded channel to the shard selected by
-/// [`shard_of`]. Each worker shard owns a private
-/// [`StorageManager`] + [`SibylAgent`] pair and repeatedly blocks until
-/// it has accumulated [`ServeConfig::max_batch`] requests (or the trace
-/// is exhausted), decides the whole batch with one
-/// [`SibylAgent::place_batch`] call — batched C51 inference — then
-/// serves the batch and feeds the outcomes back.
+/// each request over a channel to the shard selected by [`shard_of`].
+/// Each worker shard owns a private [`StorageManager`] + [`SibylAgent`]
+/// pair and repeatedly blocks until it has accumulated
+/// [`ServeConfig::max_batch`] requests (or the trace is exhausted),
+/// decides the whole batch with one [`SibylAgent::place_batch`] call —
+/// batched C51 inference — then serves the batch and feeds the outcomes
+/// back.
+///
+/// Under a cooperative [`CoopConfig`](sibyl_coop::CoopConfig) mode, every
+/// shard additionally arrives at a [`Coordinator`] sync round after each
+/// `sync_period` of its batches: experience-sharing modes publish the
+/// tap's selections and absorb every other shard's, weight-averaging
+/// modes contribute training-net parameters and adopt the federated
+/// mean. Sync rounds sit at logical (batch-count) boundaries, and a
+/// shard whose subsequence is exhausted leaves the coordinator, so the
+/// contributor set of every round — hence every result — is independent
+/// of thread scheduling. Cooperative runs use *unbounded* shard queues:
+/// a sync barrier must never backpressure the router (a full queue
+/// behind a barrier-parked shard would deadlock the run); independent
+/// runs keep the bounded-queue backpressure exactly as before.
+///
+/// When [`ServeConfig::nn_ns_per_mac`] is positive, every batch is
+/// charged one simulated NN forward pass amortized over its requests
+/// (see the field's docs), so placement-decision compute shows up in the
+/// latency metrics.
 ///
 /// Because shards fill batches by blocking on their queue rather than
 /// draining opportunistically, batch boundaries are fixed chunks of each
 /// shard's request subsequence. With the default
 /// [`TrainingMode::Synchronous`](sibyl_core::TrainingMode), results are
 /// therefore bit-identical across runs for a given config and trace,
-/// regardless of thread scheduling.
+/// regardless of thread scheduling — in every cooperation mode.
 /// [`TrainingMode::Background`](sibyl_core::TrainingMode) keeps the
 /// trainer off the decision path instead: weight adoption then depends
 /// on trainer-thread timing, so run-to-run metric drift is expected, not
-/// a bug.
+/// a bug (and cooperative modes therefore reject it).
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::EmptyTrace`] for an empty trace.
+/// Returns [`ServeError::EmptyTrace`] for an empty trace, or the
+/// configuration's first violated constraint
+/// (see [`ServeConfig::validate`]).
 ///
 /// # Panics
 ///
-/// Panics if `config` is invalid (see [`ServeConfig::validate`]) or a
-/// worker thread cannot be spawned.
+/// Panics if the embedded [`SibylConfig`](sibyl_core::SibylConfig) is
+/// invalid or a worker thread cannot be spawned.
 pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, ServeError> {
-    config.validate();
+    config.validate()?;
     if trace.is_empty() {
         return Err(ServeError::EmptyTrace);
     }
@@ -107,24 +170,44 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
     let footprints: Vec<u64> = shard_pages.iter().map(|pages| pages.len() as u64).collect();
     drop(shard_pages);
 
+    let coordinator = config
+        .coop
+        .mode
+        .is_cooperative()
+        .then(|| Coordinator::new(config.coop, config.shards));
+
     let mut senders = Vec::with_capacity(config.shards);
     let mut workers = Vec::with_capacity(config.shards);
     for (shard, &footprint) in footprints.iter().enumerate() {
-        let (tx, rx) = bounded::<IoRequest>(config.queue_capacity);
+        let (tx, rx) = if coordinator.is_some() {
+            unbounded::<IoRequest>()
+        } else {
+            bounded::<IoRequest>(config.queue_capacity)
+        };
         senders.push(tx);
         let resolved = config.hss.resolved(footprint.max(1));
         let mut sibyl = config.sibyl.clone();
         sibyl.seed = config.shard_seed(shard);
-        let max_batch = config.max_batch;
+        let task = ShardTask {
+            shard,
+            rx,
+            resolved,
+            sibyl,
+            max_batch: config.max_batch,
+            nn_ns_per_mac: config.nn_ns_per_mac,
+            curve_every: config.curve_every,
+            coop: coordinator.clone(),
+        };
         let handle = std::thread::Builder::new()
             .name(format!("sibyl-shard-{shard}"))
-            .spawn(move || run_shard(shard, rx, &resolved, sibyl, max_batch))
+            .spawn(move || run_shard(task))
             .expect("failed to spawn shard worker");
         workers.push(handle);
     }
 
-    // Route. Bounded channels give backpressure: the router stalls when a
-    // shard's queue is full instead of buffering the whole trace.
+    // Route. Bounded channels (independent runs) give backpressure: the
+    // router stalls when a shard's queue is full instead of buffering the
+    // whole trace.
     for req in trace.iter() {
         let mut routed = *req;
         if config.time_scale != 1.0 {
@@ -143,31 +226,67 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
     Ok(ServeReport { shards })
 }
 
-/// One worker shard's lifetime: fill a batch (blocking), decide it with
-/// batched inference, serve it, feed rewards back; repeat until the
-/// router hangs up.
-fn run_shard(
+/// Everything one worker shard needs, moved onto its thread.
+struct ShardTask {
     shard: usize,
     rx: Receiver<IoRequest>,
-    resolved: &sibyl_hss::HssConfig,
+    resolved: sibyl_hss::HssConfig,
     sibyl: sibyl_core::SibylConfig,
     max_batch: usize,
-) -> ShardReport {
-    let mut manager = StorageManager::new(resolved);
-    let mut agent = SibylAgent::new(sibyl);
-    let mut batch: Vec<IoRequest> = Vec::with_capacity(max_batch);
-    let mut outcomes: Vec<AccessOutcome> = Vec::with_capacity(max_batch);
+    nn_ns_per_mac: f64,
+    curve_every: u64,
+    coop: Option<Arc<Coordinator>>,
+}
+
+/// Deregisters a shard from the coordinator when its thread exits — on
+/// the normal path *and* on unwind. Without this, a panicking shard
+/// would leave `members` overcounted and every peer parked at the sync
+/// barrier forever, turning a loud `join` panic into a silent hang.
+struct LeaveGuard {
+    coord: Arc<Coordinator>,
+    member: usize,
+}
+
+impl Drop for LeaveGuard {
+    fn drop(&mut self) {
+        self.coord.leave(self.member);
+    }
+}
+
+/// One worker shard's lifetime: fill a batch (blocking), decide it with
+/// batched inference, serve it (charging amortized NN time when
+/// configured), feed rewards back, and arrive at cooperative sync rounds
+/// on its logical batch boundaries; repeat until the router hangs up,
+/// then leave the coordinator (via a drop guard, so a panicking shard
+/// releases its peers instead of wedging the barrier).
+fn run_shard(task: ShardTask) -> ShardReport {
+    let mut manager = StorageManager::new(&task.resolved);
+    let mut agent = SibylAgent::new(task.sibyl);
+    let _leave_guard = task.coop.as_ref().map(|coord| LeaveGuard {
+        coord: Arc::clone(coord),
+        member: task.shard,
+    });
+    if let Some(coord) = &task.coop {
+        if coord.config().mode.shares_experiences() {
+            agent.set_experience_tap(coord.config().share_fraction);
+        }
+    }
+    let mut batch: Vec<IoRequest> = Vec::with_capacity(task.max_batch);
+    let mut outcomes: Vec<AccessOutcome> = Vec::with_capacity(task.max_batch);
     let mut batches = 0u64;
     let mut requests = 0u64;
+    let mut coop_syncs = 0u64;
+    let mut nn_busy_us = 0.0f64;
+    let mut curve: Vec<CurvePoint> = Vec::new();
     let mut disconnected = false;
     while !disconnected {
         batch.clear();
-        match rx.recv() {
+        match task.rx.recv() {
             Ok(req) => batch.push(req),
             Err(_) => break,
         }
-        while batch.len() < max_batch {
-            match rx.recv() {
+        while batch.len() < task.max_batch {
+            match task.rx.recv() {
                 Ok(req) => batch.push(req),
                 Err(_) => {
                     disconnected = true;
@@ -176,18 +295,58 @@ fn run_shard(
             }
         }
         let targets = agent.place_batch(&batch, &manager);
+        // §10 overhead model: one forward pass per batch — the batched
+        // kernels stream each weight matrix once per *batch* — amortized
+        // evenly across the batch's requests as an arrival delay.
+        let per_req_nn_us = if task.nn_ns_per_mac > 0.0 {
+            agent
+                .inference_macs()
+                .map_or(0.0, |macs| macs as f64 * task.nn_ns_per_mac / 1_000.0)
+                / batch.len() as f64
+        } else {
+            0.0
+        };
         outcomes.clear();
         for (req, &target) in batch.iter().zip(&targets) {
-            outcomes.push(manager.access(req, target));
+            nn_busy_us += per_req_nn_us;
+            outcomes.push(manager.access_after(req, target, per_req_nn_us));
         }
         agent.feedback_batch(&outcomes);
         batches += 1;
         requests += batch.len() as u64;
+        if task.curve_every > 0 && batches.is_multiple_of(task.curve_every) {
+            curve.push(CurvePoint::from_stats(manager.stats()));
+        }
+        if let Some(coord) = &task.coop {
+            if batches.is_multiple_of(coord.config().sync_period) {
+                let weights = if coord.config().mode.averages_weights() {
+                    agent.export_weights()
+                } else {
+                    None
+                };
+                let published = if coord.config().mode.shares_experiences() {
+                    agent.take_published()
+                } else {
+                    Vec::new()
+                };
+                let outcome = coord.sync(task.shard, weights, published);
+                if let Some(avg) = &outcome.weights {
+                    agent.import_weights(avg);
+                }
+                if !outcome.shared.is_empty() {
+                    agent.absorb_experiences(&outcome.shared);
+                }
+                coop_syncs += 1;
+            }
+        }
     }
     ShardReport {
-        shard,
+        shard: task.shard,
         requests,
         batches,
+        coop_syncs,
+        nn_busy_us,
+        curve,
         stats: manager.stats().clone(),
         agent: agent.stats().clone(),
     }
@@ -196,6 +355,7 @@ fn run_shard(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sibyl_coop::{CoopConfig, CoopMode};
     use sibyl_core::SibylConfig;
     use sibyl_hss::{DeviceSpec, HssConfig};
     use sibyl_trace::{mix, msrc};
@@ -265,6 +425,9 @@ mod tests {
             assert_eq!(s.stats.total_requests, s.requests);
             assert_eq!(s.agent.decisions, s.requests);
             assert!(s.batches >= s.requests.div_ceil(16));
+            assert_eq!(s.coop_syncs, 0, "no cooperation by default");
+            assert_eq!(s.agent.shared_published, 0);
+            assert_eq!(s.agent.shared_absorbed, 0);
         }
     }
 
@@ -314,11 +477,147 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_config_is_an_error_not_a_panic() {
+        let trace = mixed_trace(10);
+        assert_eq!(
+            serve_trace(&config(0, 8), &trace),
+            Err(ServeError::ZeroShards)
+        );
+        assert_eq!(
+            serve_trace(&config(2, 0), &trace),
+            Err(ServeError::ZeroMaxBatch)
+        );
+        let coop_zero = config(2, 8).with_coop(CoopConfig::new(CoopMode::Both).with_sync_period(0));
+        assert!(matches!(
+            serve_trace(&coop_zero, &trace),
+            Err(ServeError::Coop(_))
+        ));
+    }
+
+    #[test]
     fn background_training_mode_serves_and_shuts_down() {
         let mut cfg = config(2, 16);
         cfg.sibyl.training_mode = sibyl_core::TrainingMode::Background;
         let trace = mixed_trace(500);
         let report = serve_trace(&cfg, &trace).unwrap();
         assert_eq!(report.total_requests(), trace.len() as u64);
+    }
+
+    #[test]
+    fn cooperative_modes_serve_every_request_and_sync() {
+        let trace = mixed_trace(1_000);
+        for mode in [
+            CoopMode::SharedReplay,
+            CoopMode::WeightAverage,
+            CoopMode::Both,
+        ] {
+            let cfg = config(4, 16).with_coop(CoopConfig::new(mode).with_sync_period(4));
+            let report = serve_trace(&cfg, &trace).unwrap();
+            assert_eq!(report.total_requests(), trace.len() as u64, "{mode}");
+            let total_syncs: u64 = report.shards.iter().map(|s| s.coop_syncs).sum();
+            assert!(total_syncs > 0, "{mode}: no sync rounds happened");
+            if mode.shares_experiences() {
+                let absorbed: u64 = report.shards.iter().map(|s| s.agent.shared_absorbed).sum();
+                assert!(absorbed > 0, "{mode}: nothing crossed shard boundaries");
+            }
+            if mode.averages_weights() {
+                for s in &report.shards {
+                    assert!(
+                        s.agent.weight_syncs >= s.coop_syncs,
+                        "{mode}: shard {} adopted no averaged weights",
+                        s.shard
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cooperative_runs_are_deterministic() {
+        let trace = mixed_trace(800);
+        for mode in [
+            CoopMode::SharedReplay,
+            CoopMode::WeightAverage,
+            CoopMode::Both,
+        ] {
+            let cfg = config(4, 16).with_coop(CoopConfig::new(mode).with_sync_period(4));
+            let a = serve_trace(&cfg, &trace).unwrap();
+            let b = serve_trace(&cfg, &trace).unwrap();
+            assert_eq!(a, b, "{mode}: cooperative serving must be deterministic");
+        }
+    }
+
+    #[test]
+    fn independent_mode_is_bit_identical_to_baseline_engine() {
+        // CoopMode::Independent must take the exact PR-2 code path: no
+        // coordinator, bounded queues, no tap — so its report matches a
+        // config that never mentions cooperation, bit for bit, even with
+        // the other coop knobs set to exotic values.
+        let trace = mixed_trace(1_000);
+        let baseline = serve_trace(&config(4, 16), &trace).unwrap();
+        let explicit = config(4, 16).with_coop(
+            CoopConfig::new(CoopMode::Independent)
+                .with_sync_period(3)
+                .with_share_fraction(0.9),
+        );
+        let report = serve_trace(&explicit, &trace).unwrap();
+        assert_eq!(report, baseline);
+        for s in &report.shards {
+            assert_eq!(s.coop_syncs, 0);
+            assert_eq!(s.agent.shared_published, 0);
+            assert_eq!(s.agent.shared_absorbed, 0);
+        }
+    }
+
+    #[test]
+    fn cooperation_survives_tiny_queues_without_deadlock() {
+        // A barrier-parked shard must not wedge the router: cooperative
+        // runs switch to unbounded queues, so even a 1-slot capacity and
+        // a short sync period finish.
+        let trace = mixed_trace(600);
+        let cfg = config(4, 8)
+            .with_queue_capacity(1)
+            .with_coop(CoopConfig::new(CoopMode::Both).with_sync_period(1));
+        let report = serve_trace(&cfg, &trace).unwrap();
+        assert_eq!(report.total_requests(), trace.len() as u64);
+    }
+
+    #[test]
+    fn nn_cost_charges_latency_and_amortizes_with_batch() {
+        let trace = mixed_trace(800);
+        let free = serve_trace(&config(2, 1), &trace).unwrap();
+        let charged_b1 = serve_trace(&config(2, 1).with_nn_ns_per_mac(10.0), &trace).unwrap();
+        let charged_b32 = serve_trace(&config(2, 32).with_nn_ns_per_mac(10.0), &trace).unwrap();
+        assert!(
+            charged_b1.aggregate().avg_latency_us > free.aggregate().avg_latency_us,
+            "charging inference time must raise latency"
+        );
+        let busy_b1: f64 = charged_b1.shards.iter().map(|s| s.nn_busy_us).sum();
+        let busy_b32: f64 = charged_b32.shards.iter().map(|s| s.nn_busy_us).sum();
+        assert!(busy_b1 > 0.0 && busy_b32 > 0.0);
+        assert!(
+            busy_b32 < busy_b1 / 8.0,
+            "batched inference must amortize the pass: {busy_b32:.0} vs {busy_b1:.0} µs"
+        );
+        assert_eq!(
+            free.shards.iter().map(|s| s.nn_busy_us).sum::<f64>(),
+            0.0,
+            "disabled model must charge nothing"
+        );
+    }
+
+    #[test]
+    fn learning_curve_sampling_is_cumulative_and_optional() {
+        let trace = mixed_trace(800);
+        let off = serve_trace(&config(2, 16), &trace).unwrap();
+        assert!(off.shards.iter().all(|s| s.curve.is_empty()));
+        let on = serve_trace(&config(2, 16).with_curve_every(4), &trace).unwrap();
+        for s in &on.shards {
+            assert!(!s.curve.is_empty(), "shard {} sampled no points", s.shard);
+            for w in s.curve.windows(2) {
+                assert!(w[0].requests < w[1].requests, "curve must move forward");
+            }
+            assert_eq!(s.curve.len() as u64, s.batches / 4);
+        }
     }
 }

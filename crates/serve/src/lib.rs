@@ -17,15 +17,28 @@
 //! of a matrix-vector product per request, bit-identical to per-request
 //! inference.
 //!
+//! Shard agents can **cooperate** through the `sibyl-coop` layer
+//! ([`ServeConfig::coop`]): under [`CoopMode::SharedReplay`] each shard
+//! publishes a fraction of its experiences into a pool redistributed at
+//! sync rounds, under [`CoopMode::WeightAverage`] all shards
+//! federated-average their training networks at a barrier every
+//! `sync_period` batches, and [`CoopMode::Both`] combines the two.
+//! Sync rounds sit at logical batch-count boundaries — never wall-clock
+//! time — so cooperation preserves the engine's determinism guarantee.
+//! When [`ServeConfig::nn_ns_per_mac`] is set, the §10 overhead model
+//! charges each batch one amortized NN forward pass, so the batching win
+//! shows up in latency, not just IOPS.
+//!
 //! Determinism survives sharding — in the default
 //! `TrainingMode::Synchronous`: batch boundaries are fixed chunks of
 //! each shard's request subsequence (shards block until a batch fills or
 //! the trace ends), and every shard's RNG is seeded from the base seed
 //! and the shard index — so a seeded synchronous run reproduces
 //! identical per-shard and aggregate metrics regardless of thread
-//! scheduling. `TrainingMode::Background` trades that reproducibility
-//! for an off-critical-path trainer per shard: weight adoption depends
-//! on trainer timing, so metrics drift run to run by design.
+//! scheduling, in every cooperation mode. `TrainingMode::Background`
+//! trades that reproducibility for an off-critical-path trainer per
+//! shard: weight adoption depends on trainer timing, so metrics drift
+//! run to run by design (cooperative modes therefore reject it).
 //!
 //! ## Quickstart
 //!
@@ -63,4 +76,8 @@ mod report;
 
 pub use config::ServeConfig;
 pub use engine::{serve_trace, shard_of, ServeError, REGION_BITS};
-pub use report::{Aggregate, ServeReport, ShardReport};
+pub use report::{Aggregate, CurvePoint, ServeReport, ShardReport};
+
+// Re-exported so engine users can configure cooperation without a direct
+// `sibyl-coop` dependency.
+pub use sibyl_coop::{CoopConfig, CoopConfigError, CoopMode};

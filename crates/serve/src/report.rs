@@ -3,6 +3,32 @@
 use sibyl_core::AgentStats;
 use sibyl_hss::HssStats;
 
+/// One cumulative learning-curve sample, taken every
+/// [`ServeConfig::curve_every`](crate::ServeConfig::curve_every) batches
+/// of a shard's run. Values are running totals up to the sample point,
+/// so a curve of falling `avg_latency_us` (or rising
+/// `fast_placement_fraction`) shows the agent learning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Requests served by the shard up to this sample.
+    pub requests: u64,
+    /// Cumulative average request latency (µs) up to this sample.
+    pub avg_latency_us: f64,
+    /// Cumulative fraction of requests placed on the fastest device.
+    pub fast_placement_fraction: f64,
+}
+
+impl CurvePoint {
+    /// Snapshots a manager's running statistics into a sample.
+    pub fn from_stats(stats: &HssStats) -> Self {
+        CurvePoint {
+            requests: stats.total_requests,
+            avg_latency_us: stats.avg_latency_us(),
+            fast_placement_fraction: stats.placement_fraction(0),
+        }
+    }
+}
+
 /// What one worker shard did during a serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardReport {
@@ -12,6 +38,15 @@ pub struct ShardReport {
     pub requests: u64,
     /// Batched-inference rounds the shard executed.
     pub batches: u64,
+    /// Cooperative sync rounds this shard participated in (0 in
+    /// [`CoopMode::Independent`](sibyl_coop::CoopMode)).
+    pub coop_syncs: u64,
+    /// Simulated NN-inference time charged to this shard's requests (µs;
+    /// 0 when [`ServeConfig::nn_ns_per_mac`](crate::ServeConfig) is 0).
+    pub nn_busy_us: f64,
+    /// Learning-curve samples (empty unless
+    /// [`ServeConfig::curve_every`](crate::ServeConfig) is set).
+    pub curve: Vec<CurvePoint>,
     /// The shard's storage-manager statistics (latency, IOPS, evictions).
     pub stats: HssStats,
     /// The shard's agent counters (decisions, explorations, train steps).
@@ -129,6 +164,9 @@ mod tests {
             shard,
             requests,
             batches: requests.div_ceil(8),
+            coop_syncs: 0,
+            nn_busy_us: 0.0,
+            curve: Vec::new(),
             stats,
             agent: AgentStats::default(),
         }

@@ -1,0 +1,288 @@
+//! The cooperation experiment driver: one workload, one serving
+//! configuration, all four cooperation modes — per-mode learning curves
+//! and aggregate metrics, ready for `sec12_coop`.
+
+use sibyl_serve::{serve_trace, Aggregate, CoopMode, CurvePoint, ServeConfig, ServeReport};
+use sibyl_trace::Trace;
+
+use crate::experiment::SimError;
+use crate::metrics::Metrics;
+
+/// Result of serving one workload under one [`CoopMode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoopOutcome {
+    /// The cooperation mode this outcome was produced under.
+    pub mode: CoopMode,
+    /// Per-shard metrics, ordered by shard index.
+    pub shard_metrics: Vec<Metrics>,
+    /// Aggregate metrics across shards.
+    pub aggregate: Aggregate,
+    /// The aggregate learning curve: per sample index, the
+    /// request-weighted combination of every shard's cumulative sample
+    /// (empty unless the base config enables
+    /// [`ServeConfig::curve_every`]).
+    pub curve: Vec<CurvePoint>,
+    /// The engine's full report (per-shard curves, sync/batch counters).
+    pub report: ServeReport,
+}
+
+/// All four modes' outcomes for one workload/configuration, in
+/// [`CoopMode::ALL`] order (baseline first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoopReport {
+    /// One outcome per mode.
+    pub outcomes: Vec<CoopOutcome>,
+}
+
+impl CoopReport {
+    /// The outcome of one mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode was not part of the sweep (cannot happen for
+    /// reports built by [`CoopExperiment::run_all`]).
+    pub fn outcome(&self, mode: CoopMode) -> &CoopOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| o.mode == mode)
+            .expect("mode missing from cooperation report")
+    }
+
+    /// A mode's aggregate average latency normalized to the
+    /// [`CoopMode::Independent`] baseline — below 1.0 means cooperation
+    /// served the same workload faster.
+    pub fn normalized_latency(&self, mode: CoopMode) -> f64 {
+        let base = self.outcome(CoopMode::Independent).aggregate.avg_latency_us;
+        if base <= 0.0 {
+            0.0
+        } else {
+            self.outcome(mode).aggregate.avg_latency_us / base
+        }
+    }
+
+    /// A mode's aggregate fast-placement fraction minus the baseline's —
+    /// above 0.0 means cooperation kept more of the working set fast
+    /// (the hit-rate gap the Harmonia comparison cares about).
+    pub fn hit_rate_gain(&self, mode: CoopMode) -> f64 {
+        self.outcome(mode).aggregate.fast_placement_fraction
+            - self
+                .outcome(CoopMode::Independent)
+                .aggregate
+                .fast_placement_fraction
+    }
+
+    /// The cooperative mode with the lowest aggregate latency.
+    pub fn best_cooperative_mode(&self) -> CoopMode {
+        self.outcomes
+            .iter()
+            .filter(|o| o.mode.is_cooperative())
+            .min_by(|a, b| {
+                a.aggregate
+                    .avg_latency_us
+                    .total_cmp(&b.aggregate.avg_latency_us)
+            })
+            .map(|o| o.mode)
+            .unwrap_or(CoopMode::Independent)
+    }
+}
+
+/// A reusable cooperation experiment: one workload served through the
+/// sharded engine under each [`CoopMode`], everything else held fixed.
+///
+/// The base configuration's [`ServeConfig::coop`] carries the sync
+/// period and share fraction; only its mode is swept.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_hss::{DeviceSpec, HssConfig};
+/// use sibyl_serve::{CoopMode, ServeConfig};
+/// use sibyl_sim::CoopExperiment;
+/// use sibyl_trace::msrc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = msrc::generate(msrc::Workload::Hm1, 2_000, 42);
+/// let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+/// let exp = CoopExperiment::new(ServeConfig::new(hss).with_shards(2), trace);
+/// let outcome = exp.run_mode(CoopMode::WeightAverage)?;
+/// assert_eq!(outcome.aggregate.total_requests, 2_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoopExperiment {
+    base: ServeConfig,
+    trace: Trace,
+}
+
+impl CoopExperiment {
+    /// Creates a cooperation experiment over a base serving
+    /// configuration and a workload.
+    pub fn new(base: ServeConfig, trace: Trace) -> Self {
+        CoopExperiment { base, trace }
+    }
+
+    /// The base serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.base
+    }
+
+    /// The workload.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Serves the workload under one cooperation mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyTrace`] for an empty trace and
+    /// [`SimError::Serve`] for a degenerate configuration.
+    pub fn run_mode(&self, mode: CoopMode) -> Result<CoopOutcome, SimError> {
+        let mut config = self.base.clone();
+        config.coop = config.coop.with_mode(mode);
+        let report = serve_trace(&config, &self.trace).map_err(SimError::from)?;
+        let shard_metrics = report
+            .shards
+            .iter()
+            .map(|s| Metrics::from_stats(&s.stats))
+            .collect();
+        let aggregate = report.aggregate();
+        let curve = aggregate_curve(&report);
+        Ok(CoopOutcome {
+            mode,
+            shard_metrics,
+            aggregate,
+            curve,
+            report,
+        })
+    }
+
+    /// Serves the workload under all four modes ([`CoopMode::ALL`]
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing mode's error.
+    pub fn run_all(&self) -> Result<CoopReport, SimError> {
+        let outcomes = CoopMode::ALL
+            .iter()
+            .map(|&mode| self.run_mode(mode))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CoopReport { outcomes })
+    }
+}
+
+/// Combines per-shard cumulative curves into one aggregate curve:
+/// sample k is the request-weighted mean of every shard's k-th sample.
+/// The aggregate is truncated to the *shortest* shard curve so every
+/// sample combines the same shard set — without that, shards dropping
+/// out of the tail would make the aggregate non-monotonic in requests.
+fn aggregate_curve(report: &ServeReport) -> Vec<CurvePoint> {
+    let samples = report
+        .shards
+        .iter()
+        .map(|s| s.curve.len())
+        .min()
+        .unwrap_or(0);
+    (0..samples)
+        .map(|k| {
+            let mut requests = 0u64;
+            let mut latency_sum = 0.0;
+            let mut fast_sum = 0.0;
+            for shard in &report.shards {
+                let p = &shard.curve[k];
+                requests += p.requests;
+                latency_sum += p.avg_latency_us * p.requests as f64;
+                fast_sum += p.fast_placement_fraction * p.requests as f64;
+            }
+            let denom = requests.max(1) as f64;
+            CurvePoint {
+                requests,
+                avg_latency_us: latency_sum / denom,
+                fast_placement_fraction: fast_sum / denom,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_core::SibylConfig;
+    use sibyl_hss::{DeviceSpec, HssConfig};
+    use sibyl_serve::CoopConfig;
+    use sibyl_trace::mix::Mix;
+
+    fn base(shards: usize) -> ServeConfig {
+        let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+        ServeConfig::new(hss)
+            .with_shards(shards)
+            .with_max_batch(16)
+            .with_curve_every(4)
+            .with_coop(CoopConfig::default().with_sync_period(4))
+            .with_sibyl(SibylConfig {
+                buffer_capacity: 256,
+                train_interval: 128,
+                batch_size: 32,
+                batches_per_step: 2,
+                n_atoms: 11,
+                exploration: 0.05,
+                exploration_initial: 0.3,
+                exploration_decay_requests: 500,
+                ..Default::default()
+            })
+    }
+
+    #[test]
+    fn run_all_covers_every_mode_in_order() {
+        let exp = CoopExperiment::new(base(2), Mix::Mix2.generate(400, 5));
+        let report = exp.run_all().unwrap();
+        let modes: Vec<CoopMode> = report.outcomes.iter().map(|o| o.mode).collect();
+        assert_eq!(modes, CoopMode::ALL.to_vec());
+        for o in &report.outcomes {
+            assert_eq!(o.aggregate.total_requests, 800);
+            assert!(!o.curve.is_empty(), "{}: no aggregate curve", o.mode);
+            for w in o.curve.windows(2) {
+                assert!(w[0].requests <= w[1].requests);
+            }
+        }
+        assert!(report.normalized_latency(CoopMode::Independent) == 1.0);
+        let _ = report.best_cooperative_mode();
+        let _ = report.hit_rate_gain(CoopMode::Both);
+        assert_eq!(exp.config().shards, 2);
+        assert_eq!(exp.trace().len(), 800);
+    }
+
+    /// Two seeded runs of every mode must produce identical reports —
+    /// the cooperation layer's hard design constraint.
+    #[test]
+    fn coop_experiment_is_deterministic_in_every_mode() {
+        let exp = CoopExperiment::new(base(4), Mix::Mix2.generate(300, 9));
+        let a = exp.run_all().unwrap();
+        let b = exp.run_all().unwrap();
+        assert_eq!(a, b, "seeded cooperation sweeps must be bit-identical");
+    }
+
+    #[test]
+    fn empty_trace_maps_to_sim_error() {
+        let exp = CoopExperiment::new(base(2), Trace::from_requests("e", vec![]));
+        assert!(matches!(
+            exp.run_mode(CoopMode::Both),
+            Err(SimError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn degenerate_config_maps_to_serve_error() {
+        let mut cfg = base(2);
+        cfg.coop = cfg.coop.with_sync_period(0);
+        let exp = CoopExperiment::new(cfg, Mix::Mix2.generate(50, 5));
+        assert!(matches!(
+            exp.run_mode(CoopMode::Both),
+            Err(SimError::Serve(_))
+        ));
+        // ... while the inert baseline tolerates the knob.
+        assert!(exp.run_mode(CoopMode::Independent).is_ok());
+    }
+}

@@ -11,17 +11,32 @@ use crate::policy_kind::PolicyKind;
 pub enum SimError {
     /// The trace contains no requests.
     EmptyTrace,
+    /// The serving engine rejected its configuration
+    /// (see [`sibyl_serve::ServeError`]).
+    Serve(sibyl_serve::ServeError),
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::EmptyTrace => write!(f, "trace contains no requests"),
+            SimError::Serve(e) => write!(f, "serving engine: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<sibyl_serve::ServeError> for SimError {
+    /// An empty trace keeps its sim-level meaning; every other engine
+    /// error is carried verbatim.
+    fn from(e: sibyl_serve::ServeError) -> Self {
+        match e {
+            sibyl_serve::ServeError::EmptyTrace => SimError::EmptyTrace,
+            other => SimError::Serve(other),
+        }
+    }
+}
 
 /// Result of one run.
 #[derive(Debug, Clone, PartialEq)]

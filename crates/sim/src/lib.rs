@@ -10,6 +10,9 @@
 //! - [`Experiment`] — run one policy on one workload.
 //! - [`ServeExperiment`] — run the [`sibyl_serve`] sharded serving
 //!   engine on one workload and collect per-shard + aggregate metrics.
+//! - [`CoopExperiment`] — sweep the cooperation modes (independent /
+//!   shared replay / weight averaging / both) over one workload and
+//!   report per-mode learning curves and aggregate metrics.
 //! - [`run_suite`] — run a set of policies plus the Fast-Only baseline
 //!   and normalize (every latency figure in the paper is normalized to
 //!   Fast-Only).
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod coop_experiment;
 mod experiment;
 mod metrics;
 mod policy_kind;
@@ -43,6 +47,7 @@ pub mod report;
 mod serve_experiment;
 pub mod sweeps;
 
+pub use coop_experiment::{CoopExperiment, CoopOutcome, CoopReport};
 pub use experiment::{run_suite, Experiment, Outcome, SimError, SuiteResult};
 pub use metrics::Metrics;
 pub use policy_kind::PolicyKind;

@@ -1,7 +1,7 @@
 //! The sharded-serving experiment driver: trace × serving configuration
 //! → per-shard and aggregate metrics.
 
-use sibyl_serve::{serve_trace, Aggregate, ServeConfig, ServeError, ServeReport};
+use sibyl_serve::{serve_trace, Aggregate, ServeConfig, ServeReport};
 use sibyl_trace::Trace;
 
 use crate::experiment::SimError;
@@ -75,9 +75,7 @@ impl ServeExperiment {
     ///
     /// Returns [`SimError::EmptyTrace`] for an empty trace.
     pub fn run(&self) -> Result<ServeOutcome, SimError> {
-        let report = serve_trace(&self.config, &self.trace).map_err(|e| match e {
-            ServeError::EmptyTrace => SimError::EmptyTrace,
-        })?;
+        let report = serve_trace(&self.config, &self.trace).map_err(SimError::from)?;
         let shard_metrics = report
             .shards
             .iter()

@@ -14,34 +14,61 @@ pub mod channel {
     /// Creates a bounded channel with capacity `cap`.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        (Sender(SenderImpl::Bounded(tx)), Receiver(rx))
     }
 
-    /// The sending half of a bounded channel.
+    /// Creates an unbounded channel (sends never block).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderImpl::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// The sending half of a channel (bounded or unbounded, as in real
+    /// crossbeam, where both constructors return the same `Sender` type).
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    pub struct Sender<T>(SenderImpl<T>);
+
+    #[derive(Debug)]
+    enum SenderImpl<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                SenderImpl::Bounded(tx) => SenderImpl::Bounded(tx.clone()),
+                SenderImpl::Unbounded(tx) => SenderImpl::Unbounded(tx.clone()),
+            })
         }
     }
 
     impl<T> Sender<T> {
         /// Attempts to send without blocking; fails if the channel is
-        /// full or disconnected.
+        /// full (bounded only) or disconnected.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            self.0.try_send(value).map_err(|e| match e {
-                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
-                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
-            })
+            match &self.0 {
+                SenderImpl::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+                SenderImpl::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+            }
         }
 
-        /// Blocks until the value is sent or the channel disconnects.
+        /// Blocks until the value is sent (immediately for unbounded
+        /// channels) or the channel disconnects.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.0 {
+                SenderImpl::Bounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+                SenderImpl::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+            }
         }
     }
 
@@ -118,6 +145,17 @@ mod tests {
         let (tx, _rx) = bounded::<u32>(1);
         tx.try_send(1).unwrap();
         assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+    }
+
+    #[test]
+    fn unbounded_never_reports_full() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        for i in 0..10_000 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(rx.recv(), Ok(0));
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
     }
 
     #[test]

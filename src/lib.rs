@@ -21,6 +21,9 @@
 //! - [`serve`] — the sharded placement-serving engine: LBA-hash routing
 //!   across worker shards, each deciding request batches with one
 //!   batched C51 inference pass.
+//! - [`coop`] — the multi-agent cooperation layer: shared replay and
+//!   federated weight averaging across shard agents at deterministic
+//!   sync rounds.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@
 //! # }
 //! ```
 
+pub use sibyl_coop as coop;
 pub use sibyl_core as core;
 pub use sibyl_hss as hss;
 pub use sibyl_nn as nn;
