@@ -85,6 +85,31 @@ fn training_benchmark() {
     });
 }
 
+/// §10's training-step cost, swept over replay-batch sizes: the modeled
+/// per-sample latency (deterministic — two weight streams per replay
+/// batch, amortized over the batch) next to measured wall-clock numbers
+/// for the per-sample reference loop and the batched path that replaced
+/// it. The per-sample columns drop monotonically from batch 1 → 32: the
+/// batched kernels stream each weight matrix once per batch.
+fn training_step_table() {
+    const NS_PER_MAC: f64 = 20.0;
+    println!("--- §10.1 training-step latency (C51 net, {NS_PER_MAC} ns/MAC model) ---");
+    println!(
+        "{:>6} {:>18} {:>20} {:>16} {:>16}",
+        "batch", "model step (µs)", "model/sample (µs)", "seq ns/sample", "batched ns/sample"
+    );
+    for row in sibyl_bench::train_step_latency_rows(&[1, 8, 32], NS_PER_MAC) {
+        println!(
+            "{:>6} {:>18.2} {:>20.3} {:>16.1} {:>16.1}",
+            row.batch,
+            row.modeled_step_us,
+            row.modeled_per_sample_us,
+            row.seq_ns_per_sample,
+            row.batched_ns_per_sample
+        );
+    }
+}
+
 fn buffer_benchmark() {
     let mut buf = ExperienceBuffer::new(1000);
     let mut i = 0u32;
@@ -123,5 +148,6 @@ fn main() {
     print_storage_accounting();
     inference_benchmark();
     training_benchmark();
+    training_step_table();
     buffer_benchmark();
 }

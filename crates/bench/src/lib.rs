@@ -34,7 +34,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use sibyl_core::Categorical;
 use sibyl_hss::{DeviceSpec, HssConfig};
+use sibyl_nn::{Activation, Mlp, Sgd};
 use sibyl_sim::report::Table;
 use sibyl_sim::SuiteResult;
 use sibyl_trace::msrc::Workload;
@@ -126,6 +128,133 @@ pub fn skewed_coop_trace(n: usize, seed: u64) -> Trace {
         }
     }
     Trace::from_requests("skewed-coop", reqs)
+}
+
+/// One row of `sec10_overhead`'s training-step latency table: the C51
+/// training step at one replay-batch size, under both the deterministic
+/// §10 cost model and a wall-clock measurement of the real kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainStepRow {
+    /// Replay-batch size.
+    pub batch: usize,
+    /// Modeled µs for one replay batch under the batched §10 cost model
+    /// — two weight streams (forward + backward) at the given ns/MAC,
+    /// independent of batch size because the batched kernels stream each
+    /// weight matrix once per *batch*. Deterministic.
+    pub modeled_step_us: f64,
+    /// Modeled µs per trained sample (`modeled_step_us / batch`) — the
+    /// per-request training latency §10 charges; drops monotonically as
+    /// the batch grows. Deterministic.
+    pub modeled_per_sample_us: f64,
+    /// Measured wall-clock ns per sample through the pre-refactor
+    /// per-sample loop (one `forward`/`backward` pass per transition).
+    pub seq_ns_per_sample: f64,
+    /// Measured wall-clock ns per sample through the batched path
+    /// (`forward_batch` + `Categorical::batch_grad` + `backward_batch`).
+    pub batched_ns_per_sample: f64,
+}
+
+/// Times `step` (one whole replay batch of `batch` samples) and returns
+/// the median ns per *sample* over several timed runs.
+fn time_per_sample(batch: usize, mut step: impl FnMut()) -> f64 {
+    let reps = (2048 / batch).max(8) as u32;
+    const RUNS: usize = 9;
+    // Warm-up.
+    for _ in 0..reps {
+        step();
+    }
+    let mut per_sample: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            for _ in 0..reps {
+                step();
+            }
+            start.elapsed().as_nanos() as f64 / (reps as f64 * batch as f64)
+        })
+        .collect();
+    per_sample.sort_by(|a, b| a.total_cmp(b));
+    per_sample[RUNS / 2]
+}
+
+/// Builds `sec10_overhead`'s training-step latency table: one
+/// [`TrainStepRow`] per requested replay-batch size, on the default C51
+/// network (6-20-30-22, 1380 MACs) with the paper's two-network layout.
+///
+/// The modeled columns are pure arithmetic over `ns_per_mac` —
+/// bit-identical across runs — while the measured columns time the real
+/// sequential and batched training kernels over identical seeded data,
+/// which is what the bench-crate regression test uses to pin that the
+/// batched path is no slower than the per-sample loop it replaced.
+pub fn train_step_latency_rows(batches: &[usize], ns_per_mac: f64) -> Vec<TrainStepRow> {
+    let mut rng = StdRng::seed_from_u64(0x5EC1_0000);
+    let head = Categorical::new(2, 11, 0.0, 10.0);
+    let dims = [6, 20, 30, head.n_outputs()];
+    let proto = Mlp::new(&dims, Activation::Swish, Activation::Linear, &mut rng);
+    let target = proto.clone();
+    let macs = proto.mac_count() as f64;
+    let out_dim = proto.out_dim();
+    let gamma = 0.9f32;
+
+    let mut rows = Vec::with_capacity(batches.len());
+    for &batch in batches {
+        assert!(batch > 0, "train_step_latency_rows: zero batch");
+        let obs: Vec<f32> = (0..batch * 6).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let next_obs: Vec<f32> = (0..batch * 6).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let actions: Vec<usize> = (0..batch).map(|i| i % 2).collect();
+        let rewards: Vec<f32> = (0..batch).map(|i| (i % 5) as f32 * 0.25).collect();
+        let next_logits = target.infer_batch(&next_obs, batch);
+
+        // Per-sample reference: the pre-refactor loop shape — one
+        // forward/backward per transition, per-sample head pipeline.
+        let mut seq_net = proto.clone();
+        let mut seq_opt = Sgd::new(0.001);
+        let seq_ns = time_per_sample(batch, || {
+            seq_net.zero_grad();
+            let mut grad = Vec::new();
+            for i in 0..batch {
+                let next_row = &next_logits[i * out_dim..(i + 1) * out_dim];
+                let next_best = head.best_action(next_row);
+                let next_probs = head.action_distribution(next_row, next_best);
+                let proj = head.project(rewards[i], gamma, &next_probs);
+                let logits = seq_net.forward(&obs[i * 6..(i + 1) * 6]);
+                let _ = head.loss_grad(&logits, actions[i], &proj, &mut grad);
+                std::hint::black_box(seq_net.backward(&grad));
+            }
+            seq_net.apply_grads(&mut seq_opt, 1.0 / batch as f32);
+        });
+
+        // Batched path: one forward_batch, one batch_grad, one
+        // backward_batch for the whole replay batch.
+        let mut bat_net = proto.clone();
+        let mut bat_opt = Sgd::new(0.001);
+        let mut grads = Vec::new();
+        let mut losses = Vec::new();
+        let batched_ns = time_per_sample(batch, || {
+            bat_net.zero_grad();
+            let logits = bat_net.forward_batch(&obs, batch);
+            head.batch_grad(
+                &logits,
+                &actions,
+                &rewards,
+                &next_logits,
+                gamma,
+                &mut grads,
+                &mut losses,
+            );
+            std::hint::black_box(bat_net.backward_batch(&grads, batch));
+            bat_net.apply_grads(&mut bat_opt, 1.0 / batch as f32);
+        });
+
+        let modeled_step_us = 2.0 * macs * ns_per_mac / 1_000.0;
+        rows.push(TrainStepRow {
+            batch,
+            modeled_step_us,
+            modeled_per_sample_us: modeled_step_us / batch as f64,
+            seq_ns_per_sample: seq_ns,
+            batched_ns_per_sample: batched_ns,
+        });
+    }
+    rows
 }
 
 /// A 6-workload subset used where running all 14 would make a sweep
@@ -266,6 +395,52 @@ mod tests {
             gain > 0.0,
             "shared replay should raise fast-placement preference: {gain:+.3}"
         );
+    }
+
+    /// The sec10_overhead training-latency pins: the batched training
+    /// step is no slower than the per-sample loop once batches amortize
+    /// (batch ≥ 8), and the table's modeled latency columns are
+    /// bit-deterministic across runs and drop monotonically with batch
+    /// size — the acceptance shape of the batched-training refactor.
+    #[test]
+    fn batched_training_step_is_no_slower_and_table_is_deterministic() {
+        let rows_a = train_step_latency_rows(&[1, 8, 32], 20.0);
+        let rows_b = train_step_latency_rows(&[1, 8, 32], 20.0);
+        assert_eq!(rows_a.len(), 3);
+        for (a, b) in rows_a.iter().zip(&rows_b) {
+            assert_eq!(
+                a.modeled_step_us.to_bits(),
+                b.modeled_step_us.to_bits(),
+                "modeled step column must be deterministic"
+            );
+            assert_eq!(
+                a.modeled_per_sample_us.to_bits(),
+                b.modeled_per_sample_us.to_bits(),
+                "modeled per-sample column must be deterministic"
+            );
+        }
+        for w in rows_a.windows(2) {
+            assert!(
+                w[1].modeled_per_sample_us < w[0].modeled_per_sample_us,
+                "per-sample training latency must drop monotonically: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // The wall-clock pin only holds meaning under the optimized
+        // codegen the benches actually run in (and debug timing noise on
+        // a loaded runner could flake the whole gate), so it is scoped to
+        // release builds — CI's `cargo test --release` pass exercises it.
+        #[cfg(not(debug_assertions))]
+        for row in rows_a.iter().filter(|r| r.batch >= 8) {
+            assert!(
+                row.batched_ns_per_sample <= row.seq_ns_per_sample * 1.10,
+                "batch {}: batched {:.0} ns/sample vs sequential {:.0} ns/sample",
+                row.batch,
+                row.batched_ns_per_sample,
+                row.seq_ns_per_sample
+            );
+        }
     }
 
     #[test]

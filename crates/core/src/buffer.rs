@@ -143,19 +143,48 @@ impl ExperienceBuffer {
         true
     }
 
-    /// Uniformly samples `batch_size` experiences (with replacement when
+    /// Uniformly samples `batch_size` slot indices (with replacement when
     /// the buffer is smaller than the batch). Returns an empty vector for
     /// an empty buffer.
+    ///
+    /// This is the allocation-light sampling primitive the batched
+    /// training step uses: the learner borrows each sampled
+    /// [`Experience`] through [`ExperienceBuffer::get`] instead of
+    /// cloning it out of the buffer. RNG consumption is exactly one
+    /// `gen_range` draw per sampled slot — identical to
+    /// [`ExperienceBuffer::sample`], so switching between the two never
+    /// perturbs the sampling sequence.
+    pub fn sample_indices<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<usize> {
+        if self.entries.is_empty() {
+            return Vec::new();
+        }
+        (0..batch_size)
+            .map(|_| rng.gen_range(0..self.entries.len()))
+            .collect()
+    }
+
+    /// The experience stored in slot `idx` (as returned by
+    /// [`ExperienceBuffer::sample_indices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> &Experience {
+        &self.entries[idx]
+    }
+
+    /// Uniformly samples `batch_size` experiences (with replacement when
+    /// the buffer is smaller than the batch). Returns an empty vector for
+    /// an empty buffer. Draws the RNG exactly like
+    /// [`ExperienceBuffer::sample_indices`].
     pub fn sample<'a, R: Rng + ?Sized>(
         &'a self,
         batch_size: usize,
         rng: &mut R,
     ) -> Vec<&'a Experience> {
-        if self.entries.is_empty() {
-            return Vec::new();
-        }
-        (0..batch_size)
-            .map(|_| &self.entries[rng.gen_range(0..self.entries.len())])
+        self.sample_indices(batch_size, rng)
+            .into_iter()
+            .map(|i| &self.entries[i])
             .collect()
     }
 }
@@ -229,6 +258,44 @@ mod tests {
         let distinct: std::collections::HashSet<u32> =
             batch.iter().map(|e| e.reward.to_bits()).collect();
         assert!(distinct.len() >= 6, "sampling should cover most slots");
+    }
+
+    #[test]
+    fn sample_indices_consumes_rng_identically_to_sample() {
+        // The borrow-based sampling path must not change the sampling
+        // sequence: same draws, same selected slots, same RNG state
+        // afterwards.
+        let mut b = ExperienceBuffer::new(16);
+        for i in 0..12 {
+            b.push(exp(i as f32));
+        }
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(99);
+        let by_ref: Vec<u32> = b
+            .sample(32, &mut rng_a)
+            .into_iter()
+            .map(|e| e.reward.to_bits())
+            .collect();
+        let by_idx: Vec<u32> = b
+            .sample_indices(32, &mut rng_b)
+            .into_iter()
+            .map(|i| b.get(i).reward.to_bits())
+            .collect();
+        assert_eq!(by_ref, by_idx, "selected slots must match");
+        // Both RNGs must have advanced by exactly the same number of
+        // draws: their next outputs agree.
+        use rand::Rng;
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn sample_indices_from_empty_is_empty_and_draws_nothing() {
+        let b = ExperienceBuffer::new(4);
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(3);
+        assert!(b.sample_indices(16, &mut rng_a).is_empty());
+        use rand::Rng;
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "no draws consumed");
     }
 
     #[test]

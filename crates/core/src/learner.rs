@@ -87,6 +87,60 @@ impl ValueHead {
             }
         }
     }
+
+    /// Batched loss and output-gradient: fills the row-major
+    /// `(batch × n_outputs)` `dL/dlogits` matrix and one loss per sample,
+    /// with per-row arithmetic identical to [`ValueHead::sample_grad`] —
+    /// the head-side half of the batched training step's bit-identity
+    /// contract.
+    ///
+    /// `logits` are the training network's outputs for the sampled
+    /// observations, `next_logits` the target network's outputs for the
+    /// next observations (both row-major, one row per sample).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn batch_grad(
+        &self,
+        logits: &[f32],
+        actions: &[usize],
+        rewards: &[f32],
+        next_logits: &[f32],
+        gamma: f32,
+        grads: &mut Vec<f32>,
+        losses: &mut Vec<f32>,
+    ) {
+        match self {
+            ValueHead::C51(c) => {
+                c.batch_grad(logits, actions, rewards, next_logits, gamma, grads, losses);
+            }
+            ValueHead::Dqn { n_actions } => {
+                let batch = actions.len();
+                let width = *n_actions;
+                assert_eq!(logits.len(), batch * width, "logit matrix shape mismatch");
+                assert_eq!(
+                    next_logits.len(),
+                    batch * width,
+                    "next-logit matrix shape mismatch"
+                );
+                assert_eq!(rewards.len(), batch, "reward count mismatch");
+                grads.clear();
+                grads.resize(batch * width, 0.0);
+                losses.clear();
+                let mut row_grad = Vec::new();
+                for i in 0..batch {
+                    let loss = self.sample_grad(
+                        &logits[i * width..(i + 1) * width],
+                        actions[i],
+                        rewards[i],
+                        &next_logits[i * width..(i + 1) * width],
+                        gamma,
+                        &mut row_grad,
+                    );
+                    grads[i * width..(i + 1) * width].copy_from_slice(&row_grad);
+                    losses.push(loss);
+                }
+            }
+        }
+    }
 }
 
 /// Owns the training network, the bootstrap target network, the replay
@@ -106,6 +160,15 @@ pub(crate) struct Learner {
     batch_size: usize,
     batches_per_step: usize,
     pub(crate) train_steps: u64,
+    /// Wall-clock nanoseconds spent inside [`Learner::train_step`]
+    /// (telemetry; excluded from determinism comparisons — see
+    /// [`AgentStats::train_ns`](crate::AgentStats::train_ns)).
+    pub(crate) train_ns: u64,
+    /// Test hook: route [`Learner::train_step`] through the pre-refactor
+    /// per-sample reference implementation so golden tests can compare
+    /// the two paths through identical public machinery.
+    #[cfg(test)]
+    pub(crate) use_reference_train: bool,
 }
 
 impl Learner {
@@ -136,6 +199,9 @@ impl Learner {
             batch_size: config.batch_size,
             batches_per_step: config.batches_per_step,
             train_steps: 0,
+            train_ns: 0,
+            #[cfg(test)]
+            use_reference_train: false,
         }
     }
 
@@ -154,10 +220,86 @@ impl Learner {
     /// refresh. Returns the mean loss, or `None` when the buffer is
     /// empty.
     ///
-    /// Target-network inference runs through [`Mlp::forward_batch`] — one
-    /// matrix-matrix pass over the whole batch — which is bit-identical
-    /// to per-sample inference, so training results are unchanged.
+    /// The step is batched end to end: per replay batch, sampling
+    /// borrows the selected experiences by index (no clones), target-net
+    /// inference runs through one [`Mlp::infer_batch`] pass, the head
+    /// produces the whole `dL/dlogits` matrix with one
+    /// `ValueHead::batch_grad` call, and the training network does one
+    /// [`Mlp::forward_batch`] + one [`Mlp::backward_batch`] — every
+    /// weight matrix streams once per *batch* instead of once per
+    /// *sample*. The results are bit-identical to the per-sample loop
+    /// this replaced (kept as `train_step_reference` under `cfg(test)`
+    /// and pinned by golden tests): RNG draws, per-element gradient
+    /// accumulation order, and the loss-sum order are all unchanged.
     pub(crate) fn train_step(&mut self) -> Option<f32> {
+        #[cfg(test)]
+        if self.use_reference_train {
+            return self.train_step_reference();
+        }
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let started = std::time::Instant::now();
+        let mut total_loss = 0.0f32;
+        let mut total_samples = 0usize;
+        let mut grads = Vec::new();
+        let mut losses = Vec::new();
+        let mut actions = Vec::new();
+        let mut rewards = Vec::new();
+        let mut obs_flat = Vec::new();
+        let mut next_obs_flat = Vec::new();
+        for _ in 0..self.batches_per_step {
+            let indices = self.buffer.sample_indices(self.batch_size, &mut self.rng);
+            let n = indices.len();
+            obs_flat.clear();
+            next_obs_flat.clear();
+            actions.clear();
+            rewards.clear();
+            for &idx in &indices {
+                let exp = self.buffer.get(idx);
+                obs_flat.extend_from_slice(&exp.obs);
+                next_obs_flat.extend_from_slice(&exp.next_obs);
+                actions.push(exp.action);
+                rewards.push(exp.reward);
+            }
+            let next_logits_all = self.target_net.infer_batch(&next_obs_flat, n);
+            self.train_net.zero_grad();
+            let logits_all = self.train_net.forward_batch(&obs_flat, n);
+            self.head.batch_grad(
+                &logits_all,
+                &actions,
+                &rewards,
+                &next_logits_all,
+                self.discount,
+                &mut grads,
+                &mut losses,
+            );
+            // Sum per-sample losses in sample order so the running total
+            // accumulates exactly like the per-sample loop did.
+            for &loss in &losses {
+                total_loss += loss;
+                total_samples += 1;
+            }
+            self.train_net.backward_batch(&grads, n);
+            self.train_net
+                .apply_grads(&mut *self.opt, 1.0 / n.max(1) as f32);
+        }
+        // Refresh the bootstrap target to the just-trained weights; the
+        // agent copies the same weights into its inference network
+        // (Algorithm 1 line 19).
+        self.target_net.copy_weights_from(&self.train_net);
+        self.train_steps += 1;
+        self.train_ns += started.elapsed().as_nanos() as u64;
+        Some(total_loss / total_samples.max(1) as f32)
+    }
+
+    /// The pre-refactor per-sample training step, kept verbatim as the
+    /// golden reference the batched [`Learner::train_step`] is pinned
+    /// against: one `forward`/`backward` pass per sampled transition,
+    /// experiences cloned out of the buffer. Living behind `cfg(test)`
+    /// keeps it compiled (it cannot rot) without shipping the slow path.
+    #[cfg(test)]
+    pub(crate) fn train_step_reference(&mut self) -> Option<f32> {
         if self.buffer.is_empty() {
             return None;
         }
@@ -179,7 +321,7 @@ impl Learner {
                 next_obs_flat.extend_from_slice(&exp.next_obs);
             }
             let out_dim = self.target_net.out_dim();
-            let next_logits_all = self.target_net.forward_batch(&next_obs_flat, samples.len());
+            let next_logits_all = self.target_net.infer_batch(&next_obs_flat, samples.len());
             self.train_net.zero_grad();
             for (i, exp) in samples.iter().enumerate() {
                 let next_logits = &next_logits_all[i * out_dim..(i + 1) * out_dim];
@@ -199,9 +341,6 @@ impl Learner {
             self.train_net
                 .apply_grads(&mut *self.opt, 1.0 / samples.len().max(1) as f32);
         }
-        // Refresh the bootstrap target to the just-trained weights; the
-        // agent copies the same weights into its inference network
-        // (Algorithm 1 line 19).
         self.target_net.copy_weights_from(&self.train_net);
         self.train_steps += 1;
         Some(total_loss / total_samples.max(1) as f32)
@@ -332,6 +471,55 @@ mod tests {
         let mut l = Learner::new(&config(), 2, 6);
         assert!(l.train_step().is_none());
         assert_eq!(l.train_steps, 0);
+        assert_eq!(l.train_ns, 0);
+    }
+
+    /// The tentpole pin at the learner level: the batched training step
+    /// is bit-identical to the pre-refactor per-sample reference — same
+    /// losses every step, same weights after many steps — for both head
+    /// kinds.
+    #[test]
+    fn batched_train_step_is_bit_identical_to_reference() {
+        for kind in [AgentKind::C51, AgentKind::Dqn] {
+            let cfg = SibylConfig {
+                agent_kind: kind,
+                ..config()
+            };
+            let mut batched = Learner::new(&cfg, 2, 6);
+            let mut reference = Learner::new(&cfg, 2, 6);
+            reference.use_reference_train = true;
+            for i in 0..64 {
+                let e = exp(0.1 + i as f32 * 3e-3, i % 2, (i % 3) as f32 * 0.4);
+                batched.push(e.clone());
+                reference.push(e);
+            }
+            for step in 0..30 {
+                let a = batched.train_step().expect("buffer non-empty");
+                let b = reference.train_step().expect("buffer non-empty");
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{kind:?}: loss diverged at step {step}: {a} vs {b}"
+                );
+            }
+            let wa: Vec<u32> = batched.flat_params().iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = reference
+                .flat_params()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(wa, wb, "{kind:?}: weights diverged");
+        }
+    }
+
+    #[test]
+    fn train_step_accumulates_train_ns() {
+        let mut l = Learner::new(&config(), 2, 6);
+        for i in 0..64 {
+            l.push(exp(i as f32 / 64.0, i % 2, (i % 2) as f32));
+        }
+        l.train_step().unwrap();
+        assert!(l.train_ns > 0, "training time must be accounted");
     }
 
     #[test]

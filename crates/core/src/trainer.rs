@@ -30,6 +30,8 @@ pub(crate) struct Published {
     pub generation: u64,
     pub weights: Mlp,
     pub train_steps: u64,
+    /// Wall-clock nanoseconds the trainer has spent in training steps.
+    pub train_ns: u64,
 }
 
 /// Handle owned by the agent's decision side.
@@ -49,6 +51,7 @@ impl BackgroundTrainer {
             generation: 0,
             weights: learner.weights_snapshot(),
             train_steps: 0,
+            train_ns: 0,
         }));
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = bounded::<Experience>(4 * config.train_interval as usize);
@@ -73,6 +76,7 @@ impl BackgroundTrainer {
                                     p.weights.copy_weights_from(&learner.weights_snapshot());
                                     p.generation += 1;
                                     p.train_steps = learner.train_steps;
+                                    p.train_ns = learner.train_ns;
                                 }
                             }
                         }

@@ -41,6 +41,10 @@ pub struct Dense {
     cache_x: Vec<f32>,
     #[serde(skip)]
     cache_z: Vec<f32>,
+    /// Rows in the cached forward state: 1 after [`Dense::forward`],
+    /// `batch` after [`Dense::forward_batch`], 0 when nothing is cached.
+    #[serde(skip)]
+    cache_batch: usize,
 }
 
 impl Dense {
@@ -71,6 +75,7 @@ impl Dense {
             db: vec![0.0; out_dim],
             cache_x: Vec::new(),
             cache_z: Vec::new(),
+            cache_batch: 0,
         }
     }
 
@@ -118,6 +123,46 @@ impl Dense {
         linalg::matvec_bias(&self.w, &self.b, x, self.out_dim, self.in_dim, &mut z);
         self.cache_z.clear();
         self.cache_z.extend_from_slice(&z);
+        self.cache_batch = 1;
+        self.act.apply_slice(&mut z);
+        z
+    }
+
+    /// Forward pass over a whole batch that caches the inputs and
+    /// pre-activations for [`Dense::backward_batch`] — the training twin
+    /// of [`Dense::infer_batch`], just as [`Dense::forward`] is the
+    /// training twin of [`Dense::infer`].
+    ///
+    /// `xs` is row-major `(batch × in_dim)`; the result is row-major
+    /// `(batch × out_dim)`, and each output row is bit-identical to
+    /// [`Dense::forward`] on the corresponding input (the batched kernel
+    /// keeps every dot product's accumulation order unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `xs.len() != batch * in_dim`.
+    pub fn forward_batch(&mut self, xs: &[f32], batch: usize) -> Vec<f32> {
+        assert!(batch > 0, "Dense::forward_batch: empty batch");
+        assert_eq!(
+            xs.len(),
+            batch * self.in_dim,
+            "Dense::forward_batch: input shape mismatch"
+        );
+        self.cache_x.clear();
+        self.cache_x.extend_from_slice(xs);
+        let mut z = Vec::new();
+        linalg::matmul_bias(
+            &self.w,
+            &self.b,
+            xs,
+            self.out_dim,
+            self.in_dim,
+            batch,
+            &mut z,
+        );
+        self.cache_z.clear();
+        self.cache_z.extend_from_slice(&z);
+        self.cache_batch = batch;
         self.act.apply_slice(&mut z);
         z
     }
@@ -180,6 +225,53 @@ impl Dense {
         linalg::add_assign(&mut self.db, &dz);
         let mut dx = Vec::new();
         linalg::matvec_transpose(&self.w, &dz, self.out_dim, self.in_dim, &mut dx);
+        dx
+    }
+
+    /// Batched backward pass: given the row-major `(batch × out_dim)`
+    /// upstream gradient `dy`, accumulates the whole batch's `dL/dW` and
+    /// `dL/db` into the layer's gradient buffers and returns the
+    /// row-major `(batch × in_dim)` gradient `dL/dx`.
+    ///
+    /// Must be preceded by a [`Dense::forward_batch`] call with the same
+    /// `batch`. The accumulation order per gradient element is kept
+    /// identical to `batch` sequential [`Dense::forward`] +
+    /// [`Dense::backward`] calls in sample order — per weight row, each
+    /// sample's contribution lands in ascending sample order — so the
+    /// batched training path is bit-exact against the per-sample loop
+    /// (pinned by the `train_batch_parity` property suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy.len() != batch * out_dim` or the cached forward
+    /// state does not match `batch`.
+    pub fn backward_batch(&mut self, dy: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(
+            dy.len(),
+            batch * self.out_dim,
+            "Dense::backward_batch: delta shape mismatch"
+        );
+        assert_eq!(
+            self.cache_batch, batch,
+            "Dense::backward_batch called without a matching forward_batch"
+        );
+        // dz = dy ⊙ act'(z), element-wise over the whole batch — the same
+        // scalar derivative per element as the per-sample path.
+        let mut dz = Vec::with_capacity(dy.len());
+        for (i, &d) in dy.iter().enumerate() {
+            dz.push(d * self.act.derivative(self.cache_z[i]));
+        }
+        linalg::matmul_at_b_acc(
+            &mut self.dw,
+            &dz,
+            &self.cache_x,
+            self.out_dim,
+            self.in_dim,
+            batch,
+        );
+        linalg::col_sum_acc(&mut self.db, &dz, batch);
+        let mut dx = Vec::new();
+        linalg::matmul_transpose(&self.w, &dz, self.out_dim, self.in_dim, batch, &mut dx);
         dx
     }
 

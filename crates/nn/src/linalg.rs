@@ -75,6 +75,121 @@ pub fn matmul_bias(
     }
 }
 
+/// Computes `out = D·W` for a batch of backpropagated deltas: `d` is
+/// row-major `(batch × rows)` — one delta per row — and `out` is refilled
+/// row-major `(batch × cols)`, so each output row is laid out exactly like
+/// a [`matvec_transpose`] result for the corresponding delta.
+///
+/// This is the batched input-gradient pass of training. The loop nest
+/// streams one weight row across the whole batch before moving to the
+/// next (the same weight-reuse restructuring as [`matmul_bias`]), while
+/// each output element accumulates its `rows` terms in exactly the order
+/// [`matvec_transpose`] adds them — so the batched backward pass is
+/// bit-identical to the per-sample one, which the training parity
+/// property tests pin down.
+///
+/// # Panics
+///
+/// Panics if `w.len() != rows * cols` or `d.len() != batch * rows`.
+pub fn matmul_transpose(
+    w: &[f32],
+    d: &[f32],
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(
+        w.len(),
+        rows * cols,
+        "matmul_transpose: weight shape mismatch"
+    );
+    assert_eq!(
+        d.len(),
+        batch * rows,
+        "matmul_transpose: delta shape mismatch"
+    );
+    out.clear();
+    out.resize(batch * cols, 0.0);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        for s in 0..batch {
+            let dr = d[s * rows + r];
+            let orow = &mut out[s * cols..(s + 1) * cols];
+            for (o, &wv) in orow.iter_mut().zip(row) {
+                *o += wv * dr;
+            }
+        }
+    }
+}
+
+/// Accumulates the weight gradient of a whole batch,
+/// `dw += Dᵀ·X`, into a row-major `(rows × cols)` gradient buffer:
+/// `d` is row-major `(batch × rows)` deltas, `xs` row-major
+/// `(batch × cols)` inputs.
+///
+/// Equivalent to `batch` successive [`outer_acc`] calls in sample order —
+/// and bit-identical to them: for every gradient element the per-sample
+/// contributions are added in ascending sample order onto the existing
+/// value, exactly the floating-point accumulation sequence the sequential
+/// per-sample training loop produces. The restructuring only hoists the
+/// gradient row out of the sample loop for locality.
+///
+/// # Panics
+///
+/// Panics if `dw.len() != rows * cols`, `d.len() != batch * rows`, or
+/// `xs.len() != batch * cols`.
+pub fn matmul_at_b_acc(
+    dw: &mut [f32],
+    d: &[f32],
+    xs: &[f32],
+    rows: usize,
+    cols: usize,
+    batch: usize,
+) {
+    assert_eq!(
+        dw.len(),
+        rows * cols,
+        "matmul_at_b_acc: gradient shape mismatch"
+    );
+    assert_eq!(
+        d.len(),
+        batch * rows,
+        "matmul_at_b_acc: delta shape mismatch"
+    );
+    assert_eq!(
+        xs.len(),
+        batch * cols,
+        "matmul_at_b_acc: input shape mismatch"
+    );
+    for r in 0..rows {
+        let grow = &mut dw[r * cols..(r + 1) * cols];
+        for s in 0..batch {
+            let dr = d[s * rows + r];
+            let x = &xs[s * cols..(s + 1) * cols];
+            for (g, &xv) in grow.iter_mut().zip(x) {
+                *g += dr * xv;
+            }
+        }
+    }
+}
+
+/// Accumulates per-column sums of a row-major `(batch × rows)` delta
+/// matrix into `db` — the batched bias gradient, `db[r] += Σ_s d[s][r]`,
+/// with the per-element additions in ascending sample order so the result
+/// is bit-identical to `batch` successive [`add_assign`] calls.
+///
+/// # Panics
+///
+/// Panics if `d.len() != batch * db.len()`.
+pub fn col_sum_acc(db: &mut [f32], d: &[f32], batch: usize) {
+    let rows = db.len();
+    assert_eq!(d.len(), batch * rows, "col_sum_acc: delta shape mismatch");
+    for s in 0..batch {
+        add_assign(db, &d[s * rows..(s + 1) * rows]);
+    }
+}
+
 /// Computes `out = Wᵀ·d` where `w` is row-major `(rows × cols)`:
 /// the gradient w.r.t. the layer input during backpropagation.
 ///
@@ -221,6 +336,56 @@ mod tests {
     fn matmul_bias_rejects_ragged_batch() {
         let mut out = Vec::new();
         matmul_bias(&[1.0, 2.0], &[0.0], &[1.0, 2.0, 3.0], 1, 2, 2, &mut out);
+    }
+
+    #[test]
+    fn matmul_transpose_rows_match_matvec_transpose() {
+        // W = [[1, 2, 3], [4, 5, 6]] (rows=2, cols=3); two stacked deltas.
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let d = [1.0, 0.5, -1.0, 2.0];
+        let mut batched = Vec::new();
+        matmul_transpose(&w, &d, 2, 3, 2, &mut batched);
+        for s in 0..2 {
+            let mut single = Vec::new();
+            matvec_transpose(&w, &d[s * 2..(s + 1) * 2], 2, 3, &mut single);
+            assert_eq!(&batched[s * 3..(s + 1) * 3], &single[..]);
+        }
+    }
+
+    #[test]
+    fn matmul_at_b_acc_matches_sequential_outer_acc() {
+        let d = [1.0, 2.0, -0.5, 3.0]; // batch=2, rows=2
+        let xs = [3.0, 4.0, 1.0, -2.0]; // batch=2, cols=2
+        let mut batched = vec![0.25; 4]; // pre-existing gradient
+        let mut sequential = vec![0.25; 4];
+        matmul_at_b_acc(&mut batched, &d, &xs, 2, 2, 2);
+        for s in 0..2 {
+            outer_acc(
+                &mut sequential,
+                &d[s * 2..(s + 1) * 2],
+                &xs[s * 2..(s + 1) * 2],
+            );
+        }
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn col_sum_acc_matches_sequential_add_assign() {
+        let d = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // batch=3, rows=2
+        let mut batched = vec![0.5, -0.5];
+        let mut sequential = vec![0.5, -0.5];
+        col_sum_acc(&mut batched, &d, 3);
+        for s in 0..3 {
+            add_assign(&mut sequential, &d[s * 2..(s + 1) * 2]);
+        }
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta shape mismatch")]
+    fn matmul_at_b_acc_rejects_ragged_delta() {
+        let mut dw = vec![0.0; 4];
+        matmul_at_b_acc(&mut dw, &[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0], 2, 2, 2);
     }
 
     #[test]

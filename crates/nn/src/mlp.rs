@@ -130,7 +130,34 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if `batch == 0` or `xs.len() != batch * self.in_dim()`.
-    pub fn forward_batch(&self, xs: &[f32], batch: usize) -> Vec<f32> {
+    pub fn infer_batch(&self, xs: &[f32], batch: usize) -> Vec<f32> {
+        assert!(batch > 0, "Mlp::infer_batch: empty batch");
+        assert_eq!(
+            xs.len(),
+            batch * self.in_dim(),
+            "Mlp::infer_batch: input shape mismatch"
+        );
+        let mut cur = xs.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.infer_batch(&cur, batch, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Batched forward pass that caches every layer's inputs and
+    /// pre-activations for [`Mlp::backward_batch`] — the training twin of
+    /// [`Mlp::infer_batch`], just as [`Mlp::forward`] is the training
+    /// twin of [`Mlp::infer`].
+    ///
+    /// `xs` holds `batch` inputs row-major; row `i` of the result is
+    /// bit-identical to `self.forward(&xs[i*in_dim..(i+1)*in_dim])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `xs.len() != batch * self.in_dim()`.
+    pub fn forward_batch(&mut self, xs: &[f32], batch: usize) -> Vec<f32> {
         assert!(batch > 0, "Mlp::forward_batch: empty batch");
         assert_eq!(
             xs.len(),
@@ -138,10 +165,8 @@ impl Mlp {
             "Mlp::forward_batch: input shape mismatch"
         );
         let mut cur = xs.to_vec();
-        let mut next = Vec::new();
-        for layer in &self.layers {
-            layer.infer_batch(&cur, batch, &mut next);
-            std::mem::swap(&mut cur, &mut next);
+        for layer in &mut self.layers {
+            cur = layer.forward_batch(&cur, batch);
         }
         cur
     }
@@ -154,6 +179,35 @@ impl Mlp {
         let mut d = dy.to_vec();
         for layer in self.layers.iter_mut().rev() {
             d = layer.backward(&d);
+        }
+        d
+    }
+
+    /// Batched backward pass from the row-major `(batch × out_dim)`
+    /// upstream gradient `dy`: accumulates the whole batch's gradients in
+    /// every layer with one matrix-matrix pass each and returns the
+    /// row-major `(batch × in_dim)` gradient `dL/dx`.
+    ///
+    /// Must follow a [`Mlp::forward_batch`] call with the same `batch`.
+    /// The bit-identity contract of the batched training path: calling
+    /// `forward_batch` + `backward_batch` once leaves gradient buffers
+    /// (and therefore the subsequent optimizer step) bit-identical to
+    /// `batch` sequential [`Mlp::forward`] + [`Mlp::backward`] calls in
+    /// sample order, because every per-element floating-point
+    /// accumulation happens in the same order — the batched kernels only
+    /// restructure the loops so each weight matrix streams once per
+    /// *batch* instead of once per *sample*. The `train_batch_parity`
+    /// property suite pins this across random shapes, batch sizes, and
+    /// activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy.len() != batch * self.out_dim()` or the cached
+    /// forward state does not match.
+    pub fn backward_batch(&mut self, dy: &[f32], batch: usize) -> Vec<f32> {
+        let mut d = dy.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            d = layer.backward_batch(&d, batch);
         }
         d
     }
@@ -493,7 +547,7 @@ mod tests {
     }
 
     #[test]
-    fn forward_batch_of_one_matches_infer() {
+    fn infer_batch_of_one_matches_infer() {
         let net = Mlp::new(
             &[6, 20, 30, 4],
             Activation::Swish,
@@ -501,19 +555,49 @@ mod tests {
             &mut rng(8),
         );
         let x = [0.3, -0.1, 0.9, 0.0, 0.5, -0.7];
-        assert_eq!(net.forward_batch(&x, 1), net.infer(&x));
+        assert_eq!(net.infer_batch(&x, 1), net.infer(&x));
     }
 
     #[test]
     #[should_panic(expected = "empty batch")]
-    fn forward_batch_rejects_empty() {
+    fn infer_batch_rejects_empty() {
         let net = Mlp::new(
             &[3, 4, 2],
             Activation::Swish,
             Activation::Linear,
             &mut rng(9),
         );
-        let _ = net.forward_batch(&[], 0);
+        let _ = net.infer_batch(&[], 0);
+    }
+
+    #[test]
+    fn forward_batch_matches_infer_batch_and_caches() {
+        let mut net = Mlp::new(
+            &[4, 9, 3],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(30),
+        );
+        let xs: Vec<f32> = (0..3 * 4).map(|i| (i as f32).sin()).collect();
+        let cached = net.forward_batch(&xs, 3);
+        assert_eq!(cached, net.infer_batch(&xs, 3));
+        // The cached state supports an immediate batched backward pass.
+        let dy = vec![1.0f32; 3 * 3];
+        let dx = net.backward_batch(&dy, 3);
+        assert_eq!(dx.len(), 3 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching forward_batch")]
+    fn backward_batch_rejects_stale_cache() {
+        let mut net = Mlp::new(
+            &[3, 4, 2],
+            Activation::Swish,
+            Activation::Linear,
+            &mut rng(31),
+        );
+        let _ = net.forward_batch(&[0.1; 6], 2);
+        let _ = net.backward_batch(&[1.0; 6], 3);
     }
 
     proptest! {
@@ -543,7 +627,7 @@ mod tests {
         /// random weights, inputs, and batch sizes — the guarantee the
         /// serving engine's batched C51 decisions rest on.
         #[test]
-        fn forward_batch_matches_per_request(seed in 0u64..200, batch in 1usize..9) {
+        fn infer_batch_matches_per_request(seed in 0u64..200, batch in 1usize..9) {
             let mut r = rng(seed);
             let net = Mlp::new(
                 &[5, 12, 7, 3],
@@ -557,7 +641,7 @@ mod tests {
                     r.gen_range(-2.0f32..2.0)
                 })
                 .collect();
-            let out = net.forward_batch(&xs, batch);
+            let out = net.infer_batch(&xs, batch);
             prop_assert_eq!(out.len(), batch * 3);
             for i in 0..batch {
                 let single = net.infer(&xs[i * 5..(i + 1) * 5]);

@@ -1,0 +1,157 @@
+//! The batched-training bit-identity pin.
+//!
+//! The batched training path (`forward_batch` + `backward_batch`) exists
+//! purely for locality — each weight matrix streams once per *batch*
+//! instead of once per *sample* — so it must change nothing about the
+//! numbers: gradients, input deltas, and therefore every optimizer step
+//! downstream must be bit-for-bit identical to the per-sample
+//! `forward` + `backward` loop it replaces. These property tests pin that
+//! contract across random shapes, batch sizes, and activations, mirroring
+//! the `infer_batch` parity pin the serving engine's inference already
+//! rests on.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+use sibyl_nn::{Activation, Dense, Mlp, Sgd};
+
+const ACTS: [Activation; 5] = [
+    Activation::Linear,
+    Activation::Relu,
+    Activation::Swish,
+    Activation::Tanh,
+    Activation::Sigmoid,
+];
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn random_vec(r: &mut rand::rngs::StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| r.gen_range(-2.0f32..2.0)).collect()
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// One `Dense::forward_batch` + `Dense::backward_batch` round leaves
+    /// the gradient buffers and input deltas bit-identical to `batch`
+    /// sequential `forward` + `backward` calls in sample order — even
+    /// when accumulating on top of non-zero gradients from an earlier
+    /// round (the sequential loop never zeroes between samples).
+    #[test]
+    fn dense_backward_batch_is_bit_identical(
+        seed in 0u64..300,
+        batch in 1usize..10,
+        in_dim in 1usize..7,
+        out_dim in 1usize..7,
+        act_idx in 0usize..ACTS.len(),
+    ) {
+        let mut r = rng(seed);
+        let act = ACTS[act_idx];
+        let mut batched = Dense::new(in_dim, out_dim, act, &mut r);
+        let mut sequential = batched.clone();
+        let xs = random_vec(&mut r, batch * in_dim);
+        let dys = random_vec(&mut r, batch * out_dim);
+
+        // Seed both gradient buffers with the same prior round so the
+        // accumulation (not just the fresh sum) is pinned.
+        let prior_x = random_vec(&mut r, in_dim);
+        let prior_dy = random_vec(&mut r, out_dim);
+        for layer in [&mut batched, &mut sequential] {
+            let _ = layer.forward(&prior_x);
+            let _ = layer.backward(&prior_dy);
+        }
+
+        let ys = batched.forward_batch(&xs, batch);
+        let dxs = batched.backward_batch(&dys, batch);
+
+        for s in 0..batch {
+            let y = sequential.forward(&xs[s * in_dim..(s + 1) * in_dim]);
+            prop_assert_eq!(bits(&ys[s * out_dim..(s + 1) * out_dim]), bits(&y));
+            let dx = sequential.backward(&dys[s * out_dim..(s + 1) * out_dim]);
+            prop_assert_eq!(bits(&dxs[s * in_dim..(s + 1) * in_dim]), bits(&dx));
+        }
+        let (bdw, bdb) = batched.grads();
+        let (sdw, sdb) = sequential.grads();
+        prop_assert_eq!(bits(bdw), bits(sdw));
+        prop_assert_eq!(bits(bdb), bits(sdb));
+    }
+
+    /// The whole-network contract: `Mlp::forward_batch` +
+    /// `Mlp::backward_batch` accumulates every layer's gradients
+    /// bit-identically to the per-sample loop, across random hidden
+    /// shapes, batch sizes, and both the paper's activations and the
+    /// rest of the palette.
+    #[test]
+    fn mlp_backward_batch_is_bit_identical(
+        seed in 0u64..300,
+        batch in 1usize..10,
+        hidden in 1usize..12,
+        act_idx in 0usize..ACTS.len(),
+    ) {
+        let mut r = rng(seed);
+        let act = ACTS[act_idx];
+        let dims = [4, hidden, hidden.max(2), 3];
+        let mut batched = Mlp::new(&dims, act, Activation::Linear, &mut r);
+        let mut sequential = batched.clone();
+        batched.zero_grad();
+        sequential.zero_grad();
+        let xs = random_vec(&mut r, batch * 4);
+        let dys = random_vec(&mut r, batch * 3);
+
+        let ys = batched.forward_batch(&xs, batch);
+        let dxs = batched.backward_batch(&dys, batch);
+
+        for s in 0..batch {
+            let y = sequential.forward(&xs[s * 4..(s + 1) * 4]);
+            prop_assert_eq!(bits(&ys[s * 3..(s + 1) * 3]), bits(&y));
+            let dx = sequential.backward(&dys[s * 3..(s + 1) * 3]);
+            prop_assert_eq!(bits(&dxs[s * 4..(s + 1) * 4]), bits(&dx));
+        }
+        for (bl, sl) in batched.layers().zip(sequential.layers()) {
+            let (bdw, bdb) = bl.grads();
+            let (sdw, sdb) = sl.grads();
+            prop_assert_eq!(bits(bdw), bits(sdw));
+            prop_assert_eq!(bits(bdb), bits(sdb));
+        }
+    }
+
+    /// End-to-end through the optimizer: a mean-gradient SGD step taken
+    /// from batched gradients lands on bit-identical parameters — the
+    /// exact invariant `Learner::train_step` relies on.
+    #[test]
+    fn sgd_step_from_batched_gradients_is_bit_identical(
+        seed in 0u64..150,
+        batch in 1usize..9,
+    ) {
+        let mut r = rng(seed);
+        let mut batched = Mlp::new(
+            &[5, 8, 6, 2],
+            Activation::Swish,
+            Activation::Linear,
+            &mut r,
+        );
+        let mut sequential = batched.clone();
+        let xs = random_vec(&mut r, batch * 5);
+        let dys = random_vec(&mut r, batch * 2);
+
+        batched.zero_grad();
+        let _ = batched.forward_batch(&xs, batch);
+        let _ = batched.backward_batch(&dys, batch);
+        let mut opt_b = Sgd::new(0.01);
+        batched.apply_grads(&mut opt_b, 1.0 / batch as f32);
+
+        sequential.zero_grad();
+        for s in 0..batch {
+            let _ = sequential.forward(&xs[s * 5..(s + 1) * 5]);
+            let _ = sequential.backward(&dys[s * 2..(s + 1) * 2]);
+        }
+        let mut opt_s = Sgd::new(0.01);
+        sequential.apply_grads(&mut opt_s, 1.0 / batch as f32);
+
+        prop_assert_eq!(bits(&batched.flat_params()), bits(&sequential.flat_params()));
+    }
+}

@@ -61,8 +61,12 @@ pub struct ServeConfig {
     /// counts toward each request's reported latency
     /// (`StorageManager::access_after`); it is not compressed by
     /// [`ServeConfig::time_scale`] (thinking time compresses; compute
-    /// does not). Default: 0.0 (inference is free, as before the
-    /// overhead model was coupled in).
+    /// does not). Training is billed through the same rate: each train
+    /// step charges `batches_per_step` batched forward+backward weight
+    /// streams, delaying the shard's next batch (§10 charges training to
+    /// request latency too; see [`crate::ShardReport::train_busy_us`]).
+    /// Default: 0.0 (NN compute is free, as before the overhead model
+    /// was coupled in).
     pub nn_ns_per_mac: f64,
     /// When positive, every shard samples a learning-curve point
     /// (cumulative average latency, fast-placement fraction) every

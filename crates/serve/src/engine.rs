@@ -6,7 +6,7 @@ use std::sync::Arc;
 use crossbeam::channel::{bounded, unbounded, Receiver};
 
 use sibyl_coop::{CoopConfigError, Coordinator};
-use sibyl_core::SibylAgent;
+use sibyl_core::{SibylAgent, TrainingMode};
 use sibyl_hss::{AccessOutcome, StorageManager};
 use sibyl_trace::{IoRequest, Trace};
 
@@ -129,7 +129,14 @@ pub fn shard_of(lpn: u64, shards: usize) -> usize {
 /// When [`ServeConfig::nn_ns_per_mac`] is positive, every batch is
 /// charged one simulated NN forward pass amortized over its requests
 /// (see the field's docs), so placement-decision compute shows up in the
-/// latency metrics.
+/// latency metrics. Training is charged through the same model: a train
+/// step bills `batches_per_step` batched forward+backward weight streams
+/// (the batched `train_step` streams each weight matrix once per replay
+/// batch, exactly like batched inference), and the bill delays the
+/// shard's *next* batch — the §10 overhead analysis's point that both
+/// halves of the two-network design cost request latency. Training is
+/// billed only under synchronous training; a background trainer runs
+/// concurrently off the decision path and is not charged.
 ///
 /// Because shards fill batches by blocking on their queue rather than
 /// draining opportunistically, batch boundaries are fixed chunks of each
@@ -277,6 +284,12 @@ fn run_shard(task: ShardTask) -> ShardReport {
     let mut requests = 0u64;
     let mut coop_syncs = 0u64;
     let mut nn_busy_us = 0.0f64;
+    let mut train_busy_us = 0.0f64;
+    // Training time billed by the §10 model but not yet charged to any
+    // request: a train step runs after a batch's outcomes are fed back,
+    // so its cost lands on the *next* batch's dispatch.
+    let mut pending_train_us = 0.0f64;
+    let mut charged_train_steps = 0u64;
     let mut curve: Vec<CurvePoint> = Vec::new();
     let mut disconnected = false;
     while !disconnected {
@@ -297,7 +310,8 @@ fn run_shard(task: ShardTask) -> ShardReport {
         let targets = agent.place_batch(&batch, &manager);
         // §10 overhead model: one forward pass per batch — the batched
         // kernels stream each weight matrix once per *batch* — amortized
-        // evenly across the batch's requests as an arrival delay.
+        // evenly across the batch's requests as an arrival delay, plus
+        // any training bill carried over from the previous batch.
         let per_req_nn_us = if task.nn_ns_per_mac > 0.0 {
             agent
                 .inference_macs()
@@ -306,12 +320,35 @@ fn run_shard(task: ShardTask) -> ShardReport {
         } else {
             0.0
         };
+        let per_req_delay_us = per_req_nn_us + pending_train_us / batch.len() as f64;
+        pending_train_us = 0.0;
         outcomes.clear();
         for (req, &target) in batch.iter().zip(&targets) {
             nn_busy_us += per_req_nn_us;
-            outcomes.push(manager.access_after(req, target, per_req_nn_us));
+            outcomes.push(manager.access_after(req, target, per_req_delay_us));
         }
         agent.feedback_batch(&outcomes);
+        // Training is billed only in synchronous mode, where the learner
+        // really does run inline on the decision path; a background
+        // trainer is concurrent by design (and its weight-adoption
+        // timing is thread-schedule dependent), so charging it to
+        // request latency would be both wrong and nondeterministic.
+        if task.nn_ns_per_mac > 0.0 && agent.config().training_mode == TrainingMode::Synchronous {
+            let new_steps = agent.stats().train_steps - charged_train_steps;
+            if new_steps > 0 {
+                // The batched train step streams each weight matrix once
+                // forward and once backward per replay batch — two passes
+                // at the same ns/MAC rate batched inference is billed.
+                let step_us = agent.inference_macs().map_or(0.0, |macs| {
+                    2.0 * agent.config().batches_per_step as f64 * macs as f64 * task.nn_ns_per_mac
+                        / 1_000.0
+                });
+                let billed = new_steps as f64 * step_us;
+                pending_train_us += billed;
+                train_busy_us += billed;
+            }
+            charged_train_steps = agent.stats().train_steps;
+        }
         batches += 1;
         requests += batch.len() as u64;
         if task.curve_every > 0 && batches.is_multiple_of(task.curve_every) {
@@ -346,6 +383,7 @@ fn run_shard(task: ShardTask) -> ShardReport {
         batches,
         coop_syncs,
         nn_busy_us,
+        train_busy_us,
         curve,
         stats: manager.stats().clone(),
         agent: agent.stats().clone(),
@@ -603,6 +641,84 @@ mod tests {
             free.shards.iter().map(|s| s.nn_busy_us).sum::<f64>(),
             0.0,
             "disabled model must charge nothing"
+        );
+        assert_eq!(
+            free.shards.iter().map(|s| s.train_busy_us).sum::<f64>(),
+            0.0,
+            "disabled model must charge no training either"
+        );
+    }
+
+    #[test]
+    fn training_is_charged_through_the_nn_cost_model() {
+        let trace = mixed_trace(1_200);
+        let cfg = config(2, 8).with_nn_ns_per_mac(10.0);
+        let report = serve_trace(&cfg, &trace).unwrap();
+        for s in &report.shards {
+            assert!(
+                s.agent.train_steps > 0,
+                "shard {} never trained — the charge has nothing to bill",
+                s.shard
+            );
+            // Each train step bills batches_per_step forward+backward
+            // weight streams of the 1380-MAC C51 net at 10 ns/MAC.
+            let expected = s.agent.train_steps as f64
+                * 2.0
+                * cfg.sibyl.batches_per_step as f64
+                * 1380.0
+                * 10.0
+                / 1_000.0;
+            assert!(
+                (s.train_busy_us - expected).abs() < 1e-6 * expected,
+                "shard {}: train_busy_us {} vs expected {}",
+                s.shard,
+                s.train_busy_us,
+                expected
+            );
+        }
+        // The training bill delays subsequent batches, so it must show up
+        // in served latency on top of the inference-only charge.
+        let inference_only = {
+            let mut sib = fast_sibyl();
+            sib.train_interval = u64::MAX; // never train
+            let cfg = ServeConfig::new(HssConfig::dual(
+                DeviceSpec::optane_ssd(),
+                DeviceSpec::tlc_ssd(),
+            ))
+            .with_shards(2)
+            .with_max_batch(8)
+            .with_nn_ns_per_mac(10.0)
+            .with_sibyl(sib);
+            serve_trace(&cfg, &trace).unwrap()
+        };
+        assert_eq!(
+            inference_only
+                .shards
+                .iter()
+                .map(|s| s.train_busy_us)
+                .sum::<f64>(),
+            0.0,
+            "an untrained run must bill no training time"
+        );
+    }
+
+    #[test]
+    fn background_training_is_never_billed_to_latency() {
+        // A background trainer runs concurrently off the decision path,
+        // so the §10 model must not charge it (and must not let its
+        // thread-schedule-dependent step timing perturb latencies).
+        let trace = mixed_trace(800);
+        let mut cfg = config(2, 8).with_nn_ns_per_mac(10.0);
+        cfg.sibyl.training_mode = sibyl_core::TrainingMode::Background;
+        let report = serve_trace(&cfg, &trace).unwrap();
+        assert_eq!(
+            report.shards.iter().map(|s| s.train_busy_us).sum::<f64>(),
+            0.0,
+            "background training must not be billed"
+        );
+        assert!(
+            report.shards.iter().map(|s| s.nn_busy_us).sum::<f64>() > 0.0,
+            "inference is still charged"
         );
     }
 

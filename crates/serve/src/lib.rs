@@ -13,7 +13,7 @@
 //! there for the modeling consequence). Each shard drains
 //! its queue in batches of up to [`ServeConfig::max_batch`] requests and
 //! decides the whole batch with **one batched C51 inference pass**
-//! (`Mlp::forward_batch`): one matrix-matrix product per layer instead
+//! (`Mlp::infer_batch`): one matrix-matrix product per layer instead
 //! of a matrix-vector product per request, bit-identical to per-request
 //! inference.
 //!

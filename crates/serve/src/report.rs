@@ -44,6 +44,13 @@ pub struct ShardReport {
     /// Simulated NN-inference time charged to this shard's requests (µs;
     /// 0 when [`ServeConfig::nn_ns_per_mac`](crate::ServeConfig) is 0).
     pub nn_busy_us: f64,
+    /// Simulated NN-*training* time charged through the same §10 cost
+    /// model (µs): each train step is billed `batches_per_step` batched
+    /// forward+backward weight streams at
+    /// [`ServeConfig::nn_ns_per_mac`](crate::ServeConfig), and the charge
+    /// delays the shard's next batch. 0 when the cost model is off or
+    /// training runs on a background thread (concurrent, not charged).
+    pub train_busy_us: f64,
     /// Learning-curve samples (empty unless
     /// [`ServeConfig::curve_every`](crate::ServeConfig) is set).
     pub curve: Vec<CurvePoint>,
@@ -166,6 +173,7 @@ mod tests {
             batches: requests.div_ceil(8),
             coop_syncs: 0,
             nn_busy_us: 0.0,
+            train_busy_us: 0.0,
             curve: Vec::new(),
             stats,
             agent: AgentStats::default(),
