@@ -57,9 +57,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.len()
     );
 
+    // The 4-shard sweep report doubles as the foreign-weight ablation's
+    // baseline and weight-1.0 row (the default weight *is* 1.0), saving
+    // two full serve runs.
+    let mut four_shard: Option<sibyl_sim::CoopReport> = None;
     for shards in [1usize, 2, 4, 8] {
         let exp = CoopExperiment::new(base_config(shards), trace.clone());
         let report = exp.run_all()?;
+        if shards == 4 {
+            four_shard = Some(report.clone());
+        }
         let mut table = Table::new(
             [
                 "mode",
@@ -130,5 +137,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", curve.render());
         }
     }
+
+    // Shared-replay importance weighting (ROADMAP item): absorbed foreign
+    // experiences enter the replay buffer on equal terms at
+    // foreign_weight 1.0 (bit-identical to the pre-knob engine); 0.5
+    // halves their loss/gradient contribution, damping stale
+    // off-partition transitions without changing what is shared or how
+    // sampling draws.
+    println!("foreign-weight ablation (shared replay, 4 shards)");
+    let mut ablation = Table::new(
+        ["foreign weight", "avg lat (us)", "norm lat", "shared exps"]
+            .map(String::from)
+            .to_vec(),
+    );
+    // Only SharedReplay depends on the weight, and the sweep above
+    // already ran the 4-shard Independent baseline and the
+    // default-weight (1.0) SharedReplay point — reuse both and run only
+    // the 0.5 point fresh.
+    let four_shard = four_shard.expect("4-shard sweep ran");
+    let baseline = four_shard
+        .outcome(CoopMode::Independent)
+        .aggregate
+        .avg_latency_us;
+    let mut row = |weight: f64, outcome: &sibyl_sim::CoopOutcome| {
+        let shared: u64 = outcome
+            .report
+            .shards
+            .iter()
+            .map(|s| s.agent.shared_absorbed)
+            .sum();
+        ablation.add_row(vec![
+            format!("{weight:.1}"),
+            format!("{:.1}", outcome.aggregate.avg_latency_us),
+            format!(
+                "{:.3}",
+                outcome.aggregate.avg_latency_us / baseline.max(1e-9)
+            ),
+            shared.to_string(),
+        ]);
+    };
+    row(1.0, four_shard.outcome(CoopMode::SharedReplay));
+    let mut cfg = base_config(4);
+    cfg.coop = cfg.coop.with_foreign_weight(0.5);
+    let halved = CoopExperiment::new(cfg, trace.clone()).run_mode(CoopMode::SharedReplay)?;
+    row(0.5, &halved);
+    println!("{}", ablation.render());
     Ok(())
 }

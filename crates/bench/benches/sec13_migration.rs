@@ -1,0 +1,80 @@
+//! §13 background migration: the Harmonia-style second agent (beyond the
+//! paper).
+//!
+//! Sibyl only decides where a page lands on first write; once placed,
+//! pages move only reactively (on-access promotion, capacity eviction).
+//! On a phase-shifting (diurnal) workload that staleness costs latency:
+//! after each phase rotation the new hot set serves from slow storage
+//! until the placement agent relearns it, one slow access at a time.
+//! This target sweeps the three `sibyl-migrate` policies — no migration
+//! / hot-cold threshold heuristic / the second C51 agent — on the
+//! `synth::diurnal` trace, reporting aggregate latency (normalized to
+//! the no-migration baseline), migration volume, and the device time the
+//! migration I/O consumed (charged against the same device clocks the
+//! foreground requests queue on, so the win is net of its own cost).
+
+use sibyl_bench::{banner, migration_config, seed, trace_len};
+use sibyl_sim::report::Table;
+use sibyl_sim::MigrationExperiment;
+use sibyl_trace::synth;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = trace_len(10_000);
+    let phases = 5;
+    let trace = synth::diurnal(n, phases, seed());
+    banner(
+        "§13 background migration",
+        "Proactive migration policies on a phase-shifting (diurnal) workload",
+    );
+    println!(
+        "workload {} ({} requests, {} phases), accelerated replay, NN cost charged\n",
+        trace.name(),
+        trace.len(),
+        phases
+    );
+
+    let exp = MigrationExperiment::new(migration_config(), trace);
+    let report = exp.run_all()?;
+    let mut table = Table::new(
+        [
+            "policy",
+            "avg lat (us)",
+            "norm lat",
+            "p99 (us)",
+            "fast frac",
+            "promoted",
+            "demoted",
+            "migr busy (ms)",
+            "evicted",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for run in &report.runs {
+        table.add_row(vec![
+            run.policy.to_string(),
+            format!("{:.1}", run.aggregate.avg_latency_us),
+            format!("{:.3}", report.normalized_latency(run.policy)),
+            format!(
+                "{:.0}",
+                run.shard_metrics
+                    .iter()
+                    .map(|m| m.p99_latency_us)
+                    .fold(0.0, f64::max)
+            ),
+            format!("{:.3}", run.aggregate.fast_placement_fraction),
+            run.promoted_pages.to_string(),
+            run.demoted_pages.to_string(),
+            format!("{:.1}", run.migration_busy_us / 1_000.0),
+            run.aggregate.evicted_pages.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    let best = report.best_active_policy();
+    println!(
+        "best active policy: {best} (norm lat {:.3}, hit gain {:+.3})",
+        report.normalized_latency(best),
+        report.hit_rate_gain(best),
+    );
+    Ok(())
+}

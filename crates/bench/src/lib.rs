@@ -34,9 +34,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use sibyl_core::Categorical;
+use sibyl_core::{Categorical, SibylConfig};
 use sibyl_hss::{DeviceSpec, HssConfig};
 use sibyl_nn::{Activation, Mlp, Sgd};
+use sibyl_serve::{MigrateConfig, ServeConfig};
 use sibyl_sim::report::Table;
 use sibyl_sim::SuiteResult;
 use sibyl_trace::msrc::Workload;
@@ -128,6 +129,34 @@ pub fn skewed_coop_trace(n: usize, seed: u64) -> Trace {
         }
     }
     Trace::from_requests("skewed-coop", reqs)
+}
+
+/// The serving configuration `sec13_migration` sweeps the migration
+/// policies under (shared with the bench-crate regression test so the
+/// pinned numbers and the printed table cannot drift apart): the
+/// cost-oriented H&L pair — where every avoided slow access is worth
+/// milliseconds, the regime Harmonia targets — 2 shards, moderately
+/// accelerated replay, the §10 NN cost charged, and a migration tick
+/// every 4 batches promoting pages re-read at least 3 times. The policy
+/// itself is what the sweep varies.
+pub fn migration_config() -> ServeConfig {
+    let sibyl = SibylConfig {
+        train_interval: 250,
+        ..Default::default()
+    };
+    let mut migrate = MigrateConfig::default()
+        .with_scan_period(4)
+        .with_max_moves(32)
+        .with_promote_min_heat(3);
+    migrate.demote_min_idle = 4_096;
+    migrate.demote_watermark = 0.95;
+    ServeConfig::new(hl_config())
+        .with_shards(2)
+        .with_max_batch(16)
+        .with_time_scale(5.0)
+        .with_nn_ns_per_mac(20.0)
+        .with_migrate(migrate)
+        .with_sibyl(sibyl)
 }
 
 /// One row of `sec10_overhead`'s training-step latency table: the C51
@@ -359,10 +388,13 @@ mod tests {
     }
 
     /// The sec12_coop acceptance pin: on the skew-partitioned mix at 4
-    /// shards, federated weight averaging strictly beats independent
-    /// per-shard agents on aggregate latency (and shared replay on
-    /// fast-placement preference). Settings mirror the bench target at a
-    /// test-sized request count.
+    /// shards, federated weight averaging *and* shared replay strictly
+    /// beat independent per-shard agents on aggregate latency. Settings
+    /// mirror the bench target at a test-sized request count. (An older
+    /// form of this pin asserted shared replay raised fast-*placement*
+    /// preference; since reads stopped demoting, winning agents place
+    /// *less* on fast while keeping the right pages there, so placement
+    /// fraction no longer proxies benefit — latency is the metric.)
     #[test]
     fn cooperation_beats_independent_on_skewed_partition() {
         use sibyl_serve::{CoopConfig, CoopMode, ServeConfig};
@@ -390,11 +422,48 @@ mod tests {
             norm < 1.0,
             "weight averaging should serve the skewed mix faster: norm lat {norm:.3}"
         );
-        let gain = report.hit_rate_gain(CoopMode::SharedReplay);
+        let shared = report.normalized_latency(CoopMode::SharedReplay);
         assert!(
-            gain > 0.0,
-            "shared replay should raise fast-placement preference: {gain:+.3}"
+            shared < 1.0,
+            "shared replay should serve the skewed mix faster: norm lat {shared:.3}"
         );
+    }
+
+    /// The sec13_migration acceptance pin: on the phase-shifting diurnal
+    /// trace over the H&L pair, *both* active migration policies beat
+    /// the no-migration baseline on normalized latency — the RL second
+    /// agent strictly, the heuristic with a clear margin — and the
+    /// baseline itself is bit-identical to an engine whose config never
+    /// mentions migration (the subsystem's do-no-harm contract; also
+    /// pinned at the engine and sim layers). Settings mirror the bench
+    /// target at a test-sized request count.
+    #[test]
+    fn migration_beats_no_migration_on_phased_trace() {
+        use sibyl_serve::MigratePolicyKind;
+        use sibyl_sim::MigrationExperiment;
+        use sibyl_trace::synth;
+
+        let trace = synth::diurnal(8_000, 5, 42);
+        let exp = MigrationExperiment::new(migration_config(), trace.clone());
+        let report = exp.run_all().unwrap();
+        let rl = report.normalized_latency(MigratePolicyKind::Rl);
+        let hc = report.normalized_latency(MigratePolicyKind::HotCold);
+        assert!(
+            rl < 0.995,
+            "RL migration should beat NoMigration on the phased trace: norm lat {rl:.3}"
+        );
+        assert!(
+            hc < 0.95,
+            "hot-cold migration should beat NoMigration clearly: norm lat {hc:.3}"
+        );
+        let rl_run = report.run(MigratePolicyKind::Rl);
+        assert!(
+            rl_run.promoted_pages > 0,
+            "the RL agent must actually migrate to earn its win"
+        );
+        // Do-no-harm: the swept baseline equals a migration-free engine.
+        let plain = sibyl_serve::serve_trace(&migration_config(), &trace).unwrap();
+        assert_eq!(report.run(MigratePolicyKind::None).report, plain);
     }
 
     /// The sec10_overhead training-latency pins: the batched training

@@ -65,6 +65,10 @@ pub enum CoopConfigError {
     /// An experience-sharing mode was configured with a `share_fraction`
     /// outside `(0, 1]` — nothing (or nonsense) would be published.
     InvalidShareFraction,
+    /// An experience-sharing mode was configured with a `foreign_weight`
+    /// outside `[0, 1]` — absorbed experiences cannot be amplified above
+    /// local ones, and a negative or non-finite weight is nonsense.
+    InvalidForeignWeight,
 }
 
 impl std::fmt::Display for CoopConfigError {
@@ -75,6 +79,9 @@ impl std::fmt::Display for CoopConfigError {
             }
             CoopConfigError::InvalidShareFraction => {
                 write!(f, "experience sharing requires share_fraction in (0, 1]")
+            }
+            CoopConfigError::InvalidForeignWeight => {
+                write!(f, "experience sharing requires foreign_weight in [0, 1]")
             }
         }
     }
@@ -106,6 +113,14 @@ pub struct CoopConfig {
     /// Fraction of each shard's experiences published to the shared
     /// replay pool (experience-sharing modes only). Default: 0.5.
     pub share_fraction: f64,
+    /// Importance weight applied to *absorbed* foreign experiences when
+    /// they are replayed: each sampled foreign transition's loss and
+    /// gradient contribution is scaled by this factor. At the default
+    /// 1.0, foreign experiences train on equal footing with local ones —
+    /// bit-identical to the behavior before this knob existed; lower
+    /// values damp stale or off-partition transitions without changing
+    /// what is published or how replay sampling draws.
+    pub foreign_weight: f64,
 }
 
 impl Default for CoopConfig {
@@ -114,6 +129,7 @@ impl Default for CoopConfig {
             mode: CoopMode::Independent,
             sync_period: 8,
             share_fraction: 0.5,
+            foreign_weight: 1.0,
         }
     }
 }
@@ -146,6 +162,12 @@ impl CoopConfig {
         self
     }
 
+    /// Sets the importance weight of absorbed foreign experiences.
+    pub fn with_foreign_weight(mut self, weight: f64) -> Self {
+        self.foreign_weight = weight;
+        self
+    }
+
     /// Validates the configuration for its mode.
     ///
     /// # Errors
@@ -159,10 +181,13 @@ impl CoopConfig {
         if self.sync_period == 0 {
             return Err(CoopConfigError::ZeroSyncPeriod);
         }
-        if self.mode.shares_experiences()
-            && !(self.share_fraction > 0.0 && self.share_fraction <= 1.0)
-        {
-            return Err(CoopConfigError::InvalidShareFraction);
+        if self.mode.shares_experiences() {
+            if !(self.share_fraction > 0.0 && self.share_fraction <= 1.0) {
+                return Err(CoopConfigError::InvalidShareFraction);
+            }
+            if !(self.foreign_weight >= 0.0 && self.foreign_weight <= 1.0) {
+                return Err(CoopConfigError::InvalidForeignWeight);
+            }
         }
         Ok(())
     }
@@ -219,6 +244,32 @@ mod tests {
             .with_share_fraction(-3.0)
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn foreign_weight_bounds_enforced_only_when_sharing() {
+        assert_eq!(CoopConfig::default().foreign_weight, 1.0);
+        for bad in [-0.1, 1.1, f64::NAN] {
+            let cfg = CoopConfig::new(CoopMode::Both).with_foreign_weight(bad);
+            assert_eq!(
+                cfg.validate(),
+                Err(CoopConfigError::InvalidForeignWeight),
+                "weight {bad} should be rejected"
+            );
+        }
+        // Zero is a legal (if extreme) damping; non-sharing modes ignore
+        // the knob entirely.
+        CoopConfig::new(CoopMode::SharedReplay)
+            .with_foreign_weight(0.0)
+            .validate()
+            .unwrap();
+        CoopConfig::new(CoopMode::WeightAverage)
+            .with_foreign_weight(9.0)
+            .validate()
+            .unwrap();
+        assert!(CoopConfigError::InvalidForeignWeight
+            .to_string()
+            .contains("foreign_weight"));
     }
 
     #[test]

@@ -139,6 +139,9 @@ pub struct SibylAgent {
     /// Experiences selected by the tap since the last
     /// [`SibylAgent::take_published`].
     tapped: Vec<Experience>,
+    /// Importance weight applied to absorbed foreign experiences
+    /// (1.0 = equal footing with local ones).
+    foreign_weight: f32,
 }
 
 impl SibylAgent {
@@ -164,6 +167,7 @@ impl SibylAgent {
             tap_fraction: 0.0,
             tap_acc: 0.0,
             tapped: Vec::new(),
+            foreign_weight: 1.0,
         }
     }
 
@@ -433,18 +437,38 @@ impl SibylAgent {
     /// sampling candidates for future training steps but do **not**
     /// advance the training schedule — only locally collected experiences
     /// trigger training — and the buffer's deduplication applies as
-    /// usual. No-op in [`TrainingMode::Background`] (the trainer owns the
-    /// buffer) and before the first decision (no runtime yet).
+    /// usual. Each absorbed transition carries the weight configured via
+    /// [`SibylAgent::set_foreign_weight`], scaling its loss contribution
+    /// when sampled. No-op in [`TrainingMode::Background`] (the trainer
+    /// owns the buffer) and before the first decision (no runtime yet).
     pub fn absorb_experiences(&mut self, exps: &[Experience]) {
         let Some(rt) = self.runtime.as_mut() else {
             return;
         };
         if let Engine::Synchronous(learner) = &mut rt.engine {
             for exp in exps {
-                learner.push(exp.clone());
+                learner.push_weighted(exp.clone(), self.foreign_weight);
             }
             self.stats.shared_absorbed += exps.len() as u64;
         }
+    }
+
+    /// Sets the importance weight future
+    /// [`SibylAgent::absorb_experiences`] calls attach to foreign
+    /// transitions. At the default 1.0, absorbed experiences train on
+    /// equal footing with local ones (bit-identical to the pre-weighting
+    /// behavior); lower values shrink their loss and gradient
+    /// contribution without touching the sampling distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not in `[0, 1]`.
+    pub fn set_foreign_weight(&mut self, weight: f64) {
+        assert!(
+            (0.0..=1.0).contains(&weight),
+            "set_foreign_weight: weight must be in [0, 1]"
+        );
+        self.foreign_weight = weight as f32;
     }
 
     /// The training network's flat parameters — this agent's contribution
@@ -936,6 +960,49 @@ mod tests {
             before_exps,
             "foreign experiences must not count as local collections"
         );
+    }
+
+    #[test]
+    fn foreign_weight_changes_training_but_not_the_default_path() {
+        let run = |weight: Option<f64>| {
+            let mut mgr = manager(256);
+            let mut agent = SibylAgent::new(fast_test_config());
+            if let Some(w) = weight {
+                agent.set_foreign_weight(w);
+            }
+            drive(&mut agent, &mut mgr, &hot_cold_stream(100));
+            let foreign: Vec<Experience> = (0..24)
+                .map(|i| Experience {
+                    obs: vec![0.3 + i as f32 * 0.02; 6],
+                    action: i % 2,
+                    reward: 0.8,
+                    next_obs: vec![0.35 + i as f32 * 0.02; 6],
+                })
+                .collect();
+            agent.absorb_experiences(&foreign);
+            drive(&mut agent, &mut mgr, &hot_cold_stream(400));
+            agent
+                .export_weights()
+                .expect("synchronous agent exports")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u32>>()
+        };
+        let default = run(None);
+        let explicit_one = run(Some(1.0));
+        let half = run(Some(0.5));
+        assert_eq!(
+            default, explicit_one,
+            "weight 1.0 must match the pre-knob behavior bit for bit"
+        );
+        assert_ne!(default, half, "down-weighting must alter training");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be in [0, 1]")]
+    fn foreign_weight_rejects_out_of_range() {
+        let mut agent = SibylAgent::new(fast_test_config());
+        agent.set_foreign_weight(1.5);
     }
 
     #[test]

@@ -61,6 +61,10 @@ impl Experience {
 #[derive(Debug)]
 pub struct ExperienceBuffer {
     entries: Vec<Experience>,
+    /// Per-slot importance weight, parallel to `entries` (1.0 for local
+    /// experiences; shared-replay absorption may down-weight foreign
+    /// ones).
+    weights: Vec<f32>,
     capacity: usize,
     /// Ring cursor for overwrites once full.
     cursor: usize,
@@ -81,6 +85,7 @@ impl ExperienceBuffer {
         assert!(capacity > 0, "ExperienceBuffer: capacity must be positive");
         ExperienceBuffer {
             entries: Vec::with_capacity(capacity),
+            weights: Vec::with_capacity(capacity),
             capacity,
             cursor: 0,
             index: HashMap::new(),
@@ -124,23 +129,50 @@ impl ExperienceBuffer {
     /// Once full, new unique experiences overwrite the oldest slot.
     /// Returns `true` if the experience was stored.
     pub fn push(&mut self, exp: Experience) -> bool {
+        self.push_weighted(exp, 1.0)
+    }
+
+    /// Inserts an experience with an importance `weight` that scales its
+    /// loss/gradient contribution when sampled (1.0 = a regular local
+    /// experience; shared-replay absorption uses `CoopConfig::foreign_weight`
+    /// to down-weight foreign transitions). Deduplication ignores the
+    /// weight for *storage* — a copy of an already-stored transition is
+    /// dropped like any other duplicate — but the stored slot's weight is
+    /// raised to the duplicate's when higher, so a locally re-collected
+    /// transition that first arrived as a down-weighted foreign copy
+    /// trains at full weight from then on.
+    pub fn push_weighted(&mut self, exp: Experience, weight: f32) -> bool {
         self.pushes += 1;
         let key = exp.dedup_key();
-        if self.index.contains_key(&key) {
+        if let Some(&slot) = self.index.get(&key) {
             self.duplicates += 1;
+            if weight > self.weights[slot] {
+                self.weights[slot] = weight;
+            }
             return false;
         }
         if self.entries.len() < self.capacity {
             self.index.insert(key, self.entries.len());
             self.entries.push(exp);
+            self.weights.push(weight);
         } else {
             let old_key = self.entries[self.cursor].dedup_key();
             self.index.remove(&old_key);
             self.index.insert(key, self.cursor);
             self.entries[self.cursor] = exp;
+            self.weights[self.cursor] = weight;
             self.cursor = (self.cursor + 1) % self.capacity;
         }
         true
+    }
+
+    /// The importance weight stored for slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn weight(&self, idx: usize) -> f32 {
+        self.weights[idx]
     }
 
     /// Uniformly samples `batch_size` slot indices (with replacement when
@@ -309,5 +341,25 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ExperienceBuffer::new(0);
+    }
+
+    #[test]
+    fn weights_default_to_one_and_follow_ring_overwrites() {
+        let mut b = ExperienceBuffer::new(2);
+        assert!(b.push(exp(0.0)));
+        assert!(b.push_weighted(exp(1.0), 0.25));
+        assert_eq!(b.weight(0), 1.0);
+        assert_eq!(b.weight(1), 0.25);
+        // Ring overwrite replaces slot 0's entry *and* weight.
+        assert!(b.push_weighted(exp(2.0), 0.5));
+        assert_eq!(b.weight(0), 0.5);
+        assert_eq!(b.weight(1), 0.25);
+        // A duplicate is rejected for storage, but a higher-weight copy
+        // upgrades the stored slot (a local re-collection of a foreign
+        // transition must not stay down-weighted) — and never downgrades.
+        assert!(!b.push_weighted(exp(2.0), 1.0));
+        assert_eq!(b.weight(0), 1.0);
+        assert!(!b.push_weighted(exp(2.0), 0.1));
+        assert_eq!(b.weight(0), 1.0);
     }
 }

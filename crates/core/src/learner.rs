@@ -145,8 +145,15 @@ impl ValueHead {
 
 /// Owns the training network, the bootstrap target network, the replay
 /// buffer, and the optimizer; executes training steps.
+///
+/// This is the reusable half of the agent: [`SibylAgent`](crate::SibylAgent)
+/// wraps it for data placement, and `sibyl-migrate`'s second RL agent
+/// (the Harmonia-style background-migration policy) reuses it unchanged
+/// with its own action space and feature vector — construct it with a
+/// [`SibylConfig`] carrying the desired network/replay hyper-parameters
+/// and any `n_actions`/`obs_len`.
 #[derive(Debug)]
-pub(crate) struct Learner {
+pub struct Learner {
     head: ValueHead,
     train_net: Mlp,
     /// Bootstrap target — kept in lockstep with the published inference
@@ -172,7 +179,16 @@ pub(crate) struct Learner {
 }
 
 impl Learner {
-    pub(crate) fn new(config: &SibylConfig, n_actions: usize, obs_len: usize) -> Self {
+    /// Creates a learner for `n_actions` actions over `obs_len`-feature
+    /// observations, with networks, optimizer, replay buffer, and RNG
+    /// derived from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// (see [`SibylConfig::validate`]).
+    pub fn new(config: &SibylConfig, n_actions: usize, obs_len: usize) -> Self {
+        config.validate();
         let head = ValueHead::new(config, n_actions);
         let dims = [
             obs_len,
@@ -211,8 +227,28 @@ impl Learner {
     }
 
     /// Stores one transition.
-    pub(crate) fn push(&mut self, exp: Experience) {
+    pub fn push(&mut self, exp: Experience) {
         self.buffer.push(exp);
+    }
+
+    /// Stores one foreign transition with an importance `weight` in
+    /// `[0, 1]` that scales its loss and gradient contribution whenever
+    /// it is sampled (1.0 behaves exactly like [`Learner::push`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not in `[0, 1]`.
+    pub fn push_weighted(&mut self, exp: Experience, weight: f32) {
+        assert!(
+            (0.0..=1.0).contains(&weight),
+            "push_weighted: weight must be in [0, 1]"
+        );
+        self.buffer.push_weighted(exp, weight);
+    }
+
+    /// Training steps completed so far.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
     }
 
     /// One training step: `batches_per_step` batches of `batch_size`
@@ -231,7 +267,14 @@ impl Learner {
     /// this replaced (kept as `train_step_reference` under `cfg(test)`
     /// and pinned by golden tests): RNG draws, per-element gradient
     /// accumulation order, and the loss-sum order are all unchanged.
-    pub(crate) fn train_step(&mut self) -> Option<f32> {
+    ///
+    /// Sampled transitions carrying an importance weight below 1.0
+    /// ([`Learner::push_weighted`]) have their loss and output-gradient
+    /// rows scaled by that weight before backpropagation; weight-1.0
+    /// transitions take the exact unscaled path, so a buffer holding only
+    /// local experiences trains bit-identically to one predating the
+    /// weighting mechanism.
+    pub fn train_step(&mut self) -> Option<f32> {
         #[cfg(test)]
         if self.use_reference_train {
             return self.train_step_reference();
@@ -274,6 +317,20 @@ impl Learner {
                 &mut grads,
                 &mut losses,
             );
+            // Importance weighting: scale each down-weighted sample's
+            // gradient row and loss. Weight-1.0 rows are left untouched
+            // (not multiplied), preserving bit-identity for buffers that
+            // hold only local experiences.
+            let width = grads.len() / n.max(1);
+            for (row, &idx) in indices.iter().enumerate() {
+                let w = self.buffer.weight(idx);
+                if w != 1.0 {
+                    for g in &mut grads[row * width..(row + 1) * width] {
+                        *g *= w;
+                    }
+                    losses[row] *= w;
+                }
+            }
             // Sum per-sample losses in sample order so the running total
             // accumulates exactly like the per-sample loop did.
             for &loss in &losses {
@@ -348,13 +405,13 @@ impl Learner {
 
     /// A snapshot of the current training weights for publication to the
     /// inference network.
-    pub(crate) fn weights_snapshot(&self) -> Mlp {
+    pub fn weights_snapshot(&self) -> Mlp {
         self.train_net.clone()
     }
 
     /// Flat training-network parameters (weights then biases, layer by
     /// layer) — the agent's contribution to cooperative weight averaging.
-    pub(crate) fn flat_params(&self) -> Vec<f32> {
+    pub fn flat_params(&self) -> Vec<f32> {
         self.train_net.flat_params()
     }
 
@@ -367,13 +424,13 @@ impl Learner {
     ///
     /// Panics if `params.len()` differs from the network's parameter
     /// count.
-    pub(crate) fn set_flat_params(&mut self, params: &[f32]) {
+    pub fn set_flat_params(&mut self, params: &[f32]) {
         self.train_net.set_flat_params(params);
         self.target_net.set_flat_params(params);
     }
 
     /// Changes the learning rate online (Sibyl_Opt retuning, §8.3).
-    pub(crate) fn set_learning_rate(&mut self, lr: f32) {
+    pub fn set_learning_rate(&mut self, lr: f32) {
         self.opt.set_learning_rate(lr);
     }
 }
@@ -510,6 +567,52 @@ mod tests {
                 .collect();
             assert_eq!(wa, wb, "{kind:?}: weights diverged");
         }
+    }
+
+    /// The foreign-weight satellite's core pin: weight 1.0 is
+    /// bit-identical to the unweighted push path, and a lower weight
+    /// changes training.
+    #[test]
+    fn foreign_weight_one_is_bit_identical_and_half_is_not() {
+        let build = |weight: Option<f32>| {
+            let mut l = Learner::new(&config(), 2, 6);
+            for i in 0..32 {
+                l.push(exp(0.1 + i as f32 * 2e-3, i % 2, (i % 3) as f32 * 0.3));
+            }
+            // A batch of "foreign" transitions, distinct from the local ones.
+            for i in 0..16 {
+                let e = exp(0.7 + i as f32 * 2e-3, (i + 1) % 2, 0.9);
+                match weight {
+                    None => l.push(e),
+                    Some(w) => l.push_weighted(e, w),
+                }
+            }
+            for _ in 0..20 {
+                l.train_step().expect("buffer non-empty");
+            }
+            l.flat_params()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u32>>()
+        };
+        let unweighted = build(None);
+        let weight_one = build(Some(1.0));
+        let weight_half = build(Some(0.5));
+        assert_eq!(
+            unweighted, weight_one,
+            "weight 1.0 must be bit-identical to plain pushes"
+        );
+        assert_ne!(
+            unweighted, weight_half,
+            "down-weighting must change the training trajectory"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be in [0, 1]")]
+    fn push_weighted_rejects_out_of_range_weight() {
+        let mut l = Learner::new(&config(), 2, 6);
+        l.push_weighted(exp(0.1, 0, 0.0), 1.5);
     }
 
     #[test]

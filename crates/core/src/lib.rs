@@ -65,5 +65,6 @@ pub use buffer::{Experience, ExperienceBuffer};
 pub use c51::Categorical;
 pub use config::{AgentKind, OptimizerKind, RewardKind, SibylConfig, TrainingMode};
 pub use features::{FeatureMask, Observation, StateEncoder};
+pub use learner::Learner;
 pub use overhead::OverheadReport;
 pub use reward::RewardShaper;

@@ -50,7 +50,9 @@ mod victim;
 
 pub use config::{CapacityMode, HssConfig};
 pub use device::{Device, DeviceId, DeviceKind, DeviceSpec, DeviceStats, Service};
-pub use manager::{AccessOutcome, AccessTracker, PageDirectory, StorageManager};
+pub use manager::{
+    AccessOutcome, AccessTracker, MigrationOutcome, PageDirectory, PageMove, StorageManager,
+};
 pub use policy::{PlacementContext, PlacementPolicy};
 pub use stats::{HssStats, LatencyHistogram};
 pub use victim::{LruVictim, NextUseIndex, OracleVictim, VictimPolicy};

@@ -58,6 +58,16 @@ pub trait PlacementPolicy: std::fmt::Debug {
     fn victim_policy(&self) -> Option<Box<dyn crate::VictimPolicy + Send>> {
         None
     }
+
+    /// Whether a read targeted at a *slower* device than the page's
+    /// residency should actively demote the page there
+    /// (see [`StorageManager::set_read_demotion`]). Default: `false` —
+    /// reads only promote. The Oracle baseline opts in: with complete
+    /// future knowledge, a slow-targeted read is a deliberate, free
+    /// cleanup of the fast device rather than an under-trained guess.
+    fn wants_read_demotion(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

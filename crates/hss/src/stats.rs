@@ -82,6 +82,17 @@ pub struct HssStats {
     pub eviction_time_us: f64,
     /// Pages promoted/migrated toward the policy's chosen target.
     pub migrated_pages: u64,
+    /// Background-migration batches that moved at least one page
+    /// ([`StorageManager::migrate_batch`](crate::StorageManager) calls).
+    pub bg_migration_events: u64,
+    /// Pages moved to a faster device by background migration.
+    pub bg_promoted_pages: u64,
+    /// Pages moved to a slower device by background migration.
+    pub bg_demoted_pages: u64,
+    /// Device time consumed by background-migration I/O (µs) — charged
+    /// against the devices' clocks, so it is contention foreground
+    /// requests can observe.
+    pub bg_migration_us: f64,
     /// Per-device count of requests the policy targeted at that device
     /// (numerators of the paper's Fig. 17 fast-placement preference).
     pub placements: Vec<u64>,

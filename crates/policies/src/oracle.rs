@@ -93,6 +93,13 @@ impl PlacementPolicy for Oracle {
         )))
     }
 
+    /// The Oracle *knows* a slow-targeted read's page will not be reused
+    /// within the fast device's horizon, so moving it out is a free,
+    /// deliberate cleanup — not an under-trained guess.
+    fn wants_read_demotion(&self) -> bool {
+        true
+    }
+
     fn place(&mut self, req: &IoRequest, ctx: &PlacementContext<'_>) -> DeviceId {
         let future = self
             .future

@@ -3,6 +3,7 @@
 use sibyl_coop::CoopConfig;
 use sibyl_core::{SibylConfig, TrainingMode};
 use sibyl_hss::HssConfig;
+use sibyl_migrate::MigrateConfig;
 
 use crate::engine::ServeError;
 
@@ -77,6 +78,17 @@ pub struct ServeConfig {
     /// both). Default: [`sibyl_coop::CoopMode::Independent`] — no
     /// cooperation, bit-identical to an engine without the layer.
     pub coop: CoopConfig,
+    /// The background-migration subsystem run by every shard against its
+    /// private storage node: which policy plans moves, how many batches
+    /// between ticks, and the per-tick move budget. Default:
+    /// [`sibyl_migrate::MigratePolicyKind::None`] — no migrator is
+    /// constructed and the engine is bit-identical to one without the
+    /// subsystem. Ticks sit at deterministic batch-count boundaries
+    /// (after every [`MigrateConfig::scan_period`] of a shard's own
+    /// batches), and migration I/O is charged against device time
+    /// through [`sibyl_hss::StorageManager::migrate_batch`], so
+    /// foreground requests observe the contention.
+    pub migrate: MigrateConfig,
     /// The hybrid-storage configuration instantiated per shard. Fraction
     /// capacities resolve against each shard's own footprint.
     pub hss: HssConfig,
@@ -98,6 +110,7 @@ impl ServeConfig {
             nn_ns_per_mac: 0.0,
             curve_every: 0,
             coop: CoopConfig::default(),
+            migrate: MigrateConfig::default(),
             hss,
             sibyl: SibylConfig::default(),
         }
@@ -146,6 +159,12 @@ impl ServeConfig {
         self
     }
 
+    /// Replaces the background-migration configuration.
+    pub fn with_migrate(mut self, migrate: MigrateConfig) -> Self {
+        self.migrate = migrate;
+        self
+    }
+
     /// Replaces the per-shard agent configuration.
     pub fn with_sibyl(mut self, sibyl: SibylConfig) -> Self {
         self.sibyl = sibyl;
@@ -156,6 +175,15 @@ impl ServeConfig {
     /// index so shards explore independently while staying reproducible.
     pub fn shard_seed(&self, shard: usize) -> u64 {
         self.sibyl
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1))
+    }
+
+    /// The migration-policy seed for one shard, perturbed like
+    /// [`ServeConfig::shard_seed`] so per-shard RL migrators explore
+    /// independently while staying reproducible.
+    pub fn migrate_seed(&self, shard: usize) -> u64 {
+        self.migrate
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1))
     }
@@ -189,6 +217,7 @@ impl ServeConfig {
             return Err(ServeError::InvalidNnCost);
         }
         self.coop.validate().map_err(ServeError::Coop)?;
+        self.migrate.validate().map_err(ServeError::Migrate)?;
         if self.coop.mode.is_cooperative() && self.sibyl.training_mode != TrainingMode::Synchronous
         {
             return Err(ServeError::CoopRequiresSynchronousTraining);

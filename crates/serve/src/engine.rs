@@ -1,5 +1,6 @@
 //! The sharded serving engine: LBA-hash routing, per-shard workers,
-//! batched-inference request draining, and cooperative sync rounds.
+//! batched-inference request draining, cooperative sync rounds, and
+//! background-migration ticks.
 
 use std::sync::Arc;
 
@@ -8,6 +9,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver};
 use sibyl_coop::{CoopConfigError, Coordinator};
 use sibyl_core::{SibylAgent, TrainingMode};
 use sibyl_hss::{AccessOutcome, StorageManager};
+use sibyl_migrate::{MigrateConfig, MigrateConfigError, Migrator};
 use sibyl_trace::{IoRequest, Trace};
 
 use crate::config::ServeConfig;
@@ -31,6 +33,16 @@ pub enum ServeError {
     InvalidNnCost,
     /// The cooperation configuration is degenerate.
     Coop(CoopConfigError),
+    /// The background-migration configuration is degenerate.
+    Migrate(MigrateConfigError),
+    /// A worker shard died mid-run (its thread panicked), so the trace
+    /// could not be fully served. Carries the dead shard's index. This
+    /// surfaces as an error instead of poisoning the caller with a
+    /// router-side panic.
+    ShardDown {
+        /// Index of the shard whose worker died.
+        shard: usize,
+    },
     /// A cooperative mode was combined with
     /// [`TrainingMode::Background`](sibyl_core::TrainingMode): weight
     /// export/import and replay absorption need the learner on the shard
@@ -58,6 +70,10 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::Coop(e) => write!(f, "ServeConfig: {e}"),
+            ServeError::Migrate(e) => write!(f, "ServeConfig: {e}"),
+            ServeError::ShardDown { shard } => {
+                write!(f, "worker shard {shard} died before the trace was served")
+            }
             ServeError::CoopRequiresSynchronousTraining => {
                 write!(
                     f,
@@ -125,6 +141,16 @@ pub fn shard_of(lpn: u64, shards: usize) -> usize {
 /// a sync barrier must never backpressure the router (a full queue
 /// behind a barrier-parked shard would deadlock the run); independent
 /// runs keep the bounded-queue backpressure exactly as before.
+///
+/// When [`ServeConfig::migrate`] runs an active policy, every shard
+/// additionally ticks a private [`Migrator`] after each
+/// `scan_period` of its batches — another logical boundary, so seeded
+/// runs stay deterministic — promoting hot slower-device pages and
+/// demoting cold fast ones through the bandwidth-accounted
+/// [`StorageManager::migrate_batch`]; the migration I/O advances the
+/// shard's device clocks, so subsequent foreground requests observe the
+/// contention ([`ShardReport::migrations`] /
+/// [`ShardReport::migration_busy_us`]).
 ///
 /// When [`ServeConfig::nn_ns_per_mac`] is positive, every batch is
 /// charged one simulated NN forward pass amortized over its requests
@@ -195,6 +221,8 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
         let resolved = config.hss.resolved(footprint.max(1));
         let mut sibyl = config.sibyl.clone();
         sibyl.seed = config.shard_seed(shard);
+        let mut migrate = config.migrate.clone();
+        migrate.seed = config.migrate_seed(shard);
         let task = ShardTask {
             shard,
             rx,
@@ -204,6 +232,7 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
             nn_ns_per_mac: config.nn_ns_per_mac,
             curve_every: config.curve_every,
             coop: coordinator.clone(),
+            migrate,
         };
         let handle = std::thread::Builder::new()
             .name(format!("sibyl-shard-{shard}"))
@@ -214,21 +243,36 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
 
     // Route. Bounded channels (independent runs) give backpressure: the
     // router stalls when a shard's queue is full instead of buffering the
-    // whole trace.
+    // whole trace. A send can only fail when the receiving worker died
+    // (dropped its receiver by panicking); stop routing and surface that
+    // as an error rather than panicking the router.
+    let mut dead_shard: Option<usize> = None;
     for req in trace.iter() {
         let mut routed = *req;
         if config.time_scale != 1.0 {
             routed.timestamp_us = (req.timestamp_us as f64 / config.time_scale) as u64;
         }
         let s = shard_of(routed.lpn, config.shards);
-        senders[s].send(routed).expect("shard worker disconnected");
+        if senders[s].send(routed).is_err() {
+            dead_shard = Some(s);
+            break;
+        }
     }
-    drop(senders); // end-of-trace: workers drain and exit
+    drop(senders); // end-of-trace (or abort): workers drain and exit
 
-    let mut shards: Vec<ShardReport> = workers
-        .into_iter()
-        .map(|h| h.join().expect("shard worker panicked"))
-        .collect();
+    let mut shards: Vec<ShardReport> = Vec::with_capacity(workers.len());
+    for (shard, handle) in workers.into_iter().enumerate() {
+        match handle.join() {
+            Ok(report) => shards.push(report),
+            // Prefer the panicking shard's index over the shard whose
+            // queue the router noticed first — they can differ when one
+            // shard's death aborts routing to the others.
+            Err(_) => dead_shard = Some(shard),
+        }
+    }
+    if let Some(shard) = dead_shard {
+        return Err(ServeError::ShardDown { shard });
+    }
     shards.sort_by_key(|s| s.shard);
     Ok(ServeReport { shards })
 }
@@ -243,6 +287,7 @@ struct ShardTask {
     nn_ns_per_mac: f64,
     curve_every: u64,
     coop: Option<Arc<Coordinator>>,
+    migrate: MigrateConfig,
 }
 
 /// Deregisters a shard from the coordinator when its thread exits — on
@@ -276,8 +321,13 @@ fn run_shard(task: ShardTask) -> ShardReport {
     if let Some(coord) = &task.coop {
         if coord.config().mode.shares_experiences() {
             agent.set_experience_tap(coord.config().share_fraction);
+            agent.set_foreign_weight(coord.config().foreign_weight);
         }
     }
+    // `MigratePolicyKind::None` builds no migrator: the loop below then
+    // contains no migration branch at all, keeping the baseline
+    // bit-identical to the engine before the subsystem existed.
+    let mut migrator = Migrator::new(task.migrate);
     let mut batch: Vec<IoRequest> = Vec::with_capacity(task.max_batch);
     let mut outcomes: Vec<AccessOutcome> = Vec::with_capacity(task.max_batch);
     let mut batches = 0u64;
@@ -285,6 +335,8 @@ fn run_shard(task: ShardTask) -> ShardReport {
     let mut coop_syncs = 0u64;
     let mut nn_busy_us = 0.0f64;
     let mut train_busy_us = 0.0f64;
+    let mut migrations = 0u64;
+    let mut migration_busy_us = 0.0f64;
     // Training time billed by the §10 model but not yet charged to any
     // request: a train step runs after a batch's outcomes are fed back,
     // so its cost lands on the *next* batch's dispatch.
@@ -351,6 +403,17 @@ fn run_shard(task: ShardTask) -> ShardReport {
         }
         batches += 1;
         requests += batch.len() as u64;
+        // Background-migration tick at deterministic batch-count
+        // boundaries: the migrator scans residency/heat, plans, and
+        // executes moves whose I/O is charged against this shard's
+        // device clocks — the next batch's requests queue behind it.
+        if let Some(m) = &mut migrator {
+            if batches.is_multiple_of(m.config().scan_period) {
+                let tick = m.tick(&mut manager);
+                migrations += tick.moved_pages;
+                migration_busy_us += tick.busy_us;
+            }
+        }
         if task.curve_every > 0 && batches.is_multiple_of(task.curve_every) {
             curve.push(CurvePoint::from_stats(manager.stats()));
         }
@@ -384,6 +447,8 @@ fn run_shard(task: ShardTask) -> ShardReport {
         coop_syncs,
         nn_busy_us,
         train_busy_us,
+        migrations,
+        migration_busy_us,
         curve,
         stats: manager.stats().clone(),
         agent: agent.stats().clone(),
@@ -396,6 +461,7 @@ mod tests {
     use sibyl_coop::{CoopConfig, CoopMode};
     use sibyl_core::SibylConfig;
     use sibyl_hss::{DeviceSpec, HssConfig};
+    use sibyl_migrate::MigratePolicyKind;
     use sibyl_trace::{mix, msrc};
 
     fn fast_sibyl() -> SibylConfig {
@@ -618,6 +684,97 @@ mod tests {
             .with_coop(CoopConfig::new(CoopMode::Both).with_sync_period(1));
         let report = serve_trace(&cfg, &trace).unwrap();
         assert_eq!(report.total_requests(), trace.len() as u64);
+    }
+
+    #[test]
+    fn no_migration_is_bit_identical_to_baseline_engine() {
+        // MigratePolicyKind::None must take the exact pre-subsystem code
+        // path: no migrator, no ticks — so its report matches a config
+        // that never mentions migration, bit for bit, even with every
+        // other migration knob set to exotic values.
+        let trace = mixed_trace(1_000);
+        let baseline = serve_trace(&config(4, 16), &trace).unwrap();
+        let explicit = config(4, 16).with_migrate(
+            MigrateConfig::new(MigratePolicyKind::None)
+                .with_scan_period(1)
+                .with_max_moves(1_000)
+                .with_promote_min_heat(1)
+                .with_seed(99),
+        );
+        let report = serve_trace(&explicit, &trace).unwrap();
+        assert_eq!(report, baseline);
+        for s in &report.shards {
+            assert_eq!(s.migrations, 0);
+            assert_eq!(s.migration_busy_us, 0.0);
+            assert_eq!(s.stats.bg_migration_events, 0);
+        }
+    }
+
+    #[test]
+    fn active_migration_moves_pages_and_charges_device_time() {
+        let trace = mixed_trace(1_500);
+        for policy in [MigratePolicyKind::HotCold, MigratePolicyKind::Rl] {
+            let cfg = config(2, 16).with_migrate(MigrateConfig::new(policy).with_scan_period(2));
+            let report = serve_trace(&cfg, &trace).unwrap();
+            assert_eq!(report.total_requests(), trace.len() as u64, "{policy}");
+            let moved: u64 = report.shards.iter().map(|s| s.migrations).sum();
+            let busy: f64 = report.shards.iter().map(|s| s.migration_busy_us).sum();
+            assert!(moved > 0, "{policy}: no pages migrated");
+            assert!(busy > 0.0, "{policy}: migration I/O must cost device time");
+            for s in &report.shards {
+                assert_eq!(
+                    s.stats.bg_promoted_pages + s.stats.bg_demoted_pages,
+                    s.migrations,
+                    "{policy}: shard {} counters disagree with manager stats",
+                    s.shard
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migrating_runs_are_deterministic() {
+        let trace = mixed_trace(1_000);
+        for policy in [MigratePolicyKind::HotCold, MigratePolicyKind::Rl] {
+            let cfg = config(4, 16).with_migrate(MigrateConfig::new(policy).with_scan_period(4));
+            let a = serve_trace(&cfg, &trace).unwrap();
+            let b = serve_trace(&cfg, &trace).unwrap();
+            assert_eq!(a, b, "{policy}: migrating runs must be deterministic");
+        }
+    }
+
+    #[test]
+    fn degenerate_migration_config_is_an_error_not_a_panic() {
+        let trace = mixed_trace(10);
+        let cfg = config(2, 8)
+            .with_migrate(MigrateConfig::new(MigratePolicyKind::HotCold).with_scan_period(0));
+        assert!(matches!(
+            serve_trace(&cfg, &trace),
+            Err(ServeError::Migrate(_))
+        ));
+    }
+
+    #[test]
+    fn dead_shard_surfaces_as_shard_down_error() {
+        // A capacity-limited slowest device makes StorageManager::new
+        // panic inside every worker thread; the router must fold that
+        // into ServeError::ShardDown instead of panicking on send/join.
+        let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd())
+            .with_capacity_pages(vec![10, 10]);
+        let cfg = ServeConfig::new(hss)
+            .with_shards(2)
+            .with_max_batch(8)
+            .with_sibyl(fast_sibyl());
+        let trace = mixed_trace(200);
+        match serve_trace(&cfg, &trace) {
+            Err(ServeError::ShardDown { shard }) => {
+                assert!(shard < 2);
+                assert!(ServeError::ShardDown { shard }
+                    .to_string()
+                    .contains(&format!("shard {shard}")));
+            }
+            other => panic!("expected ShardDown, got {other:?}"),
+        }
     }
 
     #[test]

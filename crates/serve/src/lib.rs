@@ -25,6 +25,10 @@
 //! `sync_period` batches, and [`CoopMode::Both`] combines the two.
 //! Sync rounds sit at logical batch-count boundaries — never wall-clock
 //! time — so cooperation preserves the engine's determinism guarantee.
+//! The `sibyl-migrate` background-migration subsystem rides the same
+//! discipline ([`ServeConfig::migrate`]): each shard ticks a private
+//! migrator every `scan_period` of its own batches, and migration I/O
+//! is charged against the shard's device clocks.
 //! When [`ServeConfig::nn_ns_per_mac`] is set, the §10 overhead model
 //! charges each batch one amortized NN forward pass, so the batching win
 //! shows up in latency, not just IOPS.
@@ -78,6 +82,7 @@ pub use config::ServeConfig;
 pub use engine::{serve_trace, shard_of, ServeError, REGION_BITS};
 pub use report::{Aggregate, CurvePoint, ServeReport, ShardReport};
 
-// Re-exported so engine users can configure cooperation without a direct
-// `sibyl-coop` dependency.
+// Re-exported so engine users can configure cooperation and background
+// migration without direct `sibyl-coop`/`sibyl-migrate` dependencies.
 pub use sibyl_coop::{CoopConfig, CoopConfigError, CoopMode};
+pub use sibyl_migrate::{MigrateConfig, MigrateConfigError, MigratePolicyKind};

@@ -51,6 +51,14 @@ pub struct ShardReport {
     /// delays the shard's next batch. 0 when the cost model is off or
     /// training runs on a background thread (concurrent, not charged).
     pub train_busy_us: f64,
+    /// Pages moved by the shard's background-migration ticks (promotions
+    /// plus demotions; 0 when
+    /// [`ServeConfig::migrate`](crate::ServeConfig) runs no policy).
+    pub migrations: u64,
+    /// Device time the shard's background-migration I/O consumed (µs).
+    /// Charged against the shard's device clocks, so foreground requests
+    /// queue behind it — this is contention, not free background work.
+    pub migration_busy_us: f64,
     /// Learning-curve samples (empty unless
     /// [`ServeConfig::curve_every`](crate::ServeConfig) is set).
     pub curve: Vec<CurvePoint>,
@@ -174,6 +182,8 @@ mod tests {
             coop_syncs: 0,
             nn_busy_us: 0.0,
             train_busy_us: 0.0,
+            migrations: 0,
+            migration_busy_us: 0.0,
             curve: Vec::new(),
             stats,
             agent: AgentStats::default(),

@@ -156,6 +156,7 @@ impl Experiment {
         if let Some(victim) = policy.victim_policy() {
             manager.set_victim_policy(victim);
         }
+        manager.set_read_demotion(policy.wants_read_demotion());
         for (seq, orig) in self.trace.iter().enumerate() {
             let mut req = *orig;
             if self.time_scale != 1.0 {

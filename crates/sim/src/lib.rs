@@ -13,6 +13,9 @@
 //! - [`CoopExperiment`] — sweep the cooperation modes (independent /
 //!   shared replay / weight averaging / both) over one workload and
 //!   report per-mode learning curves and aggregate metrics.
+//! - [`MigrationExperiment`] — sweep the background-migration policies
+//!   (none / hot-cold heuristic / RL) over one workload and report
+//!   per-policy aggregates plus migration accounting.
 //! - [`run_suite`] — run a set of policies plus the Fast-Only baseline
 //!   and normalize (every latency figure in the paper is normalized to
 //!   Fast-Only).
@@ -42,6 +45,7 @@
 mod coop_experiment;
 mod experiment;
 mod metrics;
+mod migration_experiment;
 mod policy_kind;
 pub mod report;
 mod serve_experiment;
@@ -50,5 +54,6 @@ pub mod sweeps;
 pub use coop_experiment::{CoopExperiment, CoopOutcome, CoopReport};
 pub use experiment::{run_suite, Experiment, Outcome, SimError, SuiteResult};
 pub use metrics::Metrics;
+pub use migration_experiment::{MigrationExperiment, MigrationReport, MigrationRun};
 pub use policy_kind::PolicyKind;
 pub use serve_experiment::{ServeExperiment, ServeOutcome};

@@ -1,0 +1,265 @@
+//! The migration experiment driver: one workload, one serving
+//! configuration, all three background-migration policies — per-policy
+//! aggregates and migration accounting, ready for `sec13_migration`.
+
+use sibyl_serve::{serve_trace, Aggregate, MigratePolicyKind, ServeConfig, ServeReport};
+use sibyl_trace::Trace;
+
+use crate::experiment::SimError;
+use crate::metrics::Metrics;
+
+/// Result of serving one workload under one [`MigratePolicyKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRun {
+    /// The migration policy this run was produced under.
+    pub policy: MigratePolicyKind,
+    /// Per-shard metrics, ordered by shard index.
+    pub shard_metrics: Vec<Metrics>,
+    /// Aggregate metrics across shards.
+    pub aggregate: Aggregate,
+    /// Pages promoted by background migration, across shards.
+    pub promoted_pages: u64,
+    /// Pages demoted by background migration, across shards.
+    pub demoted_pages: u64,
+    /// Device time consumed by background-migration I/O (µs), across
+    /// shards.
+    pub migration_busy_us: f64,
+    /// The engine's full report.
+    pub report: ServeReport,
+}
+
+/// All three policies' runs for one workload/configuration, in
+/// [`MigratePolicyKind::ALL`] order (baseline first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    /// One run per policy.
+    pub runs: Vec<MigrationRun>,
+}
+
+impl MigrationReport {
+    /// The run of one policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy was not part of the sweep (cannot happen for
+    /// reports built by [`MigrationExperiment::run_all`]).
+    pub fn run(&self, policy: MigratePolicyKind) -> &MigrationRun {
+        self.runs
+            .iter()
+            .find(|r| r.policy == policy)
+            .expect("policy missing from migration report")
+    }
+
+    /// A policy's aggregate average latency normalized to the
+    /// [`MigratePolicyKind::None`] baseline — below 1.0 means background
+    /// migration served the same workload faster than placement alone.
+    pub fn normalized_latency(&self, policy: MigratePolicyKind) -> f64 {
+        let base = self.run(MigratePolicyKind::None).aggregate.avg_latency_us;
+        if base <= 0.0 {
+            0.0
+        } else {
+            self.run(policy).aggregate.avg_latency_us / base
+        }
+    }
+
+    /// A policy's aggregate fast-placement fraction minus the baseline's.
+    pub fn hit_rate_gain(&self, policy: MigratePolicyKind) -> f64 {
+        self.run(policy).aggregate.fast_placement_fraction
+            - self
+                .run(MigratePolicyKind::None)
+                .aggregate
+                .fast_placement_fraction
+    }
+
+    /// The active policy with the lowest aggregate latency.
+    pub fn best_active_policy(&self) -> MigratePolicyKind {
+        self.runs
+            .iter()
+            .filter(|r| r.policy.is_active())
+            .min_by(|a, b| {
+                a.aggregate
+                    .avg_latency_us
+                    .total_cmp(&b.aggregate.avg_latency_us)
+            })
+            .map(|r| r.policy)
+            .unwrap_or(MigratePolicyKind::None)
+    }
+}
+
+/// A reusable migration experiment: one workload served through the
+/// sharded engine under each [`MigratePolicyKind`], everything else held
+/// fixed.
+///
+/// The base configuration's [`ServeConfig::migrate`] carries the tick
+/// period, move budget, and thresholds; only its policy is swept.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_hss::{DeviceSpec, HssConfig};
+/// use sibyl_serve::{MigratePolicyKind, ServeConfig};
+/// use sibyl_sim::MigrationExperiment;
+/// use sibyl_trace::synth;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = synth::diurnal(2_000, 2, 42);
+/// let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+/// let exp = MigrationExperiment::new(ServeConfig::new(hss).with_shards(2), trace);
+/// let run = exp.run_policy(MigratePolicyKind::HotCold)?;
+/// assert_eq!(run.aggregate.total_requests, 2_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MigrationExperiment {
+    base: ServeConfig,
+    trace: Trace,
+}
+
+impl MigrationExperiment {
+    /// Creates a migration experiment over a base serving configuration
+    /// and a workload.
+    pub fn new(base: ServeConfig, trace: Trace) -> Self {
+        MigrationExperiment { base, trace }
+    }
+
+    /// The base serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.base
+    }
+
+    /// The workload.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Serves the workload under one migration policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyTrace`] for an empty trace and
+    /// [`SimError::Serve`] for a degenerate configuration or a dead
+    /// shard.
+    pub fn run_policy(&self, policy: MigratePolicyKind) -> Result<MigrationRun, SimError> {
+        let mut config = self.base.clone();
+        config.migrate = config.migrate.clone().with_policy(policy);
+        let report = serve_trace(&config, &self.trace).map_err(SimError::from)?;
+        let shard_metrics = report
+            .shards
+            .iter()
+            .map(|s| Metrics::from_stats(&s.stats))
+            .collect();
+        let aggregate = report.aggregate();
+        let promoted_pages = report
+            .shards
+            .iter()
+            .map(|s| s.stats.bg_promoted_pages)
+            .sum();
+        let demoted_pages = report.shards.iter().map(|s| s.stats.bg_demoted_pages).sum();
+        let migration_busy_us = report.shards.iter().map(|s| s.migration_busy_us).sum();
+        Ok(MigrationRun {
+            policy,
+            shard_metrics,
+            aggregate,
+            promoted_pages,
+            demoted_pages,
+            migration_busy_us,
+            report,
+        })
+    }
+
+    /// Serves the workload under all three policies
+    /// ([`MigratePolicyKind::ALL`] order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing policy's error.
+    pub fn run_all(&self) -> Result<MigrationReport, SimError> {
+        let runs = MigratePolicyKind::ALL
+            .iter()
+            .map(|&policy| self.run_policy(policy))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MigrationReport { runs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibyl_core::SibylConfig;
+    use sibyl_hss::{DeviceSpec, HssConfig};
+    use sibyl_serve::MigrateConfig;
+    use sibyl_trace::synth;
+
+    fn base(shards: usize) -> ServeConfig {
+        let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+        ServeConfig::new(hss)
+            .with_shards(shards)
+            .with_max_batch(16)
+            .with_migrate(MigrateConfig::default().with_scan_period(4))
+            .with_sibyl(SibylConfig {
+                buffer_capacity: 256,
+                train_interval: 128,
+                batch_size: 32,
+                batches_per_step: 2,
+                n_atoms: 11,
+                exploration: 0.05,
+                exploration_initial: 0.3,
+                exploration_decay_requests: 500,
+                ..Default::default()
+            })
+    }
+
+    #[test]
+    fn run_all_covers_every_policy_in_order() {
+        let exp = MigrationExperiment::new(base(2), synth::diurnal(1_200, 3, 5));
+        let report = exp.run_all().unwrap();
+        let policies: Vec<MigratePolicyKind> = report.runs.iter().map(|r| r.policy).collect();
+        assert_eq!(policies, MigratePolicyKind::ALL.to_vec());
+        for r in &report.runs {
+            assert_eq!(r.aggregate.total_requests, 1_200, "{}", r.policy);
+            if r.policy.is_active() {
+                assert!(r.promoted_pages > 0, "{}: nothing promoted", r.policy);
+                assert!(r.migration_busy_us > 0.0, "{}: free migration", r.policy);
+            } else {
+                assert_eq!(r.promoted_pages + r.demoted_pages, 0);
+                assert_eq!(r.migration_busy_us, 0.0);
+            }
+        }
+        assert_eq!(report.normalized_latency(MigratePolicyKind::None), 1.0);
+        let _ = report.best_active_policy();
+        let _ = report.hit_rate_gain(MigratePolicyKind::Rl);
+        assert_eq!(exp.config().shards, 2);
+        assert_eq!(exp.trace().len(), 1_200);
+    }
+
+    /// The no-migration run of the sweep must be bit-identical to a plain
+    /// serve run whose config never mentions migration.
+    #[test]
+    fn baseline_run_matches_migration_free_engine() {
+        let trace = synth::diurnal(800, 2, 9);
+        let exp = MigrationExperiment::new(base(2), trace.clone());
+        let baseline = exp.run_policy(MigratePolicyKind::None).unwrap();
+        let mut plain_cfg = base(2);
+        plain_cfg.migrate = MigrateConfig::default();
+        let plain = sibyl_serve::serve_trace(&plain_cfg, &trace).unwrap();
+        assert_eq!(baseline.report, plain);
+    }
+
+    #[test]
+    fn migration_sweeps_are_deterministic() {
+        let exp = MigrationExperiment::new(base(2), synth::diurnal(800, 2, 11));
+        let a = exp.run_all().unwrap();
+        let b = exp.run_all().unwrap();
+        assert_eq!(a, b, "seeded migration sweeps must be bit-identical");
+    }
+
+    #[test]
+    fn empty_trace_maps_to_sim_error() {
+        let exp = MigrationExperiment::new(base(2), Trace::from_requests("e", vec![]));
+        assert!(matches!(
+            exp.run_policy(MigratePolicyKind::HotCold),
+            Err(SimError::EmptyTrace)
+        ));
+    }
+}

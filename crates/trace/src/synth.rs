@@ -252,6 +252,73 @@ fn rebalance_ops(requests: &mut [IoRequest], target_wf: f64, rng: &mut StdRng) {
     }
 }
 
+/// Hot regions per phase of the [`diurnal`] generator (64-page regions,
+/// matching the serving engine's routing granule).
+const DIURNAL_HOT_REGIONS: u64 = 16;
+
+/// Hot pages actually used within each hot region of [`diurnal`].
+const DIURNAL_HOT_PAGES_PER_REGION: u64 = 16;
+
+/// Base LPN of [`diurnal`]'s cold streaming area, far above any hot span.
+const DIURNAL_COLD_BASE: u64 = 1 << 22;
+
+/// Pages in the cold streaming area of [`diurnal`].
+const DIURNAL_COLD_SPAN_PAGES: u64 = 1 << 17;
+
+/// Synthesizes a **phase-shifting (diurnal) workload** — the workload
+/// class that static first-write placement handles worst, and the one
+/// background migration (`sibyl-migrate`) exists for.
+///
+/// The trace runs `phases` equal-length phases. Each phase owns a
+/// *disjoint* hot set: 16 64-page regions holding 16 hot pages each,
+/// with region popularity Zipf(0.6) — mild skew, so the *whole* hot set
+/// is re-read rather than a tiny head. 70 % of requests hit the current phase's
+/// hot set (single-page, 90 % reads — re-read-heavy, like a content
+/// cache at different times of day); the rest stream cold 8-page reads
+/// across a large, barely-reused area. When a phase boundary passes, the entire
+/// hot set rotates at once: pages a placement policy promoted during the
+/// previous phase go cold while the new hot set sits in slow storage —
+/// exactly the stale-residency regime where latency is recovered by
+/// proactively promoting the new hot set and demoting the old one,
+/// rather than paying one slow access per page for reactive on-access
+/// promotion.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `phases == 0`.
+pub fn diurnal(n: usize, phases: usize, seed: u64) -> Trace {
+    assert!(n > 0, "diurnal: n must be positive");
+    assert!(phases > 0, "diurnal: phases must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00D1_0BA1_u64 ^ 0x5EC1_3000);
+    let zipf = Zipf::new(DIURNAL_HOT_REGIONS as usize, 0.6);
+    let phase_len = n.div_ceil(phases);
+    let mut reqs = Vec::with_capacity(n);
+    let mut cold_cursor = 0u64;
+    for i in 0..n {
+        let phase = (i / phase_len) as u64;
+        let ts = i as u64 * 300;
+        if rng.gen::<f64>() < 0.70 {
+            // Hot: this phase's private region block.
+            let region = phase * DIURNAL_HOT_REGIONS + zipf.sample(&mut rng) as u64;
+            let page = region * SEGMENT_PAGES + rng.gen_range(0..DIURNAL_HOT_PAGES_PER_REGION);
+            let op = if rng.gen::<f64>() < 0.10 {
+                IoOp::Write
+            } else {
+                IoOp::Read
+            };
+            reqs.push(IoRequest::new(ts, page, 1, op));
+        } else {
+            // Cold: an 8-page streaming read over a large area.
+            let lpn = DIURNAL_COLD_BASE + (cold_cursor * 8) % DIURNAL_COLD_SPAN_PAGES;
+            cold_cursor += 1;
+            reqs.push(IoRequest::new(ts, lpn, 8, IoOp::Read));
+        }
+    }
+    Trace::from_requests("diurnal", reqs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +433,49 @@ mod tests {
     #[should_panic(expected = "n must be positive")]
     fn rejects_zero_requests() {
         let _ = generate_spec(&spec(), 0, 1);
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_and_rotates_hot_sets() {
+        let a = diurnal(8_000, 4, 7);
+        let b = diurnal(8_000, 4, 7);
+        assert_eq!(a, b, "diurnal must be seeded");
+        assert_ne!(a, diurnal(8_000, 4, 8));
+        // Phases use disjoint hot spans: the hot pages touched in phase 0
+        // never reappear as hot pages in phase 2.
+        let hot_span = DIURNAL_HOT_REGIONS * SEGMENT_PAGES;
+        let phase_of = |i: usize| i / 2_000;
+        let mut phase_hot: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 4];
+        for (i, r) in a.iter().enumerate() {
+            if r.lpn < DIURNAL_COLD_BASE {
+                assert_eq!(
+                    (r.lpn / hot_span) as usize,
+                    phase_of(i),
+                    "hot request outside its phase's span"
+                );
+                phase_hot[phase_of(i)].insert(r.lpn);
+            }
+        }
+        for p in &phase_hot {
+            assert!(!p.is_empty(), "every phase must have hot traffic");
+        }
+        assert!(
+            phase_hot[0].is_disjoint(&phase_hot[2]),
+            "hot sets must rotate disjointly"
+        );
+        // Re-read-heavy hot half: hot pages are touched many times.
+        let hot_requests: usize = a.iter().filter(|r| r.lpn < DIURNAL_COLD_BASE).count();
+        let hot_unique: usize = phase_hot.iter().map(|p| p.len()).sum();
+        assert!(
+            hot_requests as f64 / hot_unique as f64 > 2.0,
+            "hot pages should be re-read: {hot_requests} reqs over {hot_unique} pages"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "phases must be positive")]
+    fn diurnal_rejects_zero_phases() {
+        let _ = diurnal(10, 0, 1);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! - [`coop`] — the multi-agent cooperation layer: shared replay and
 //!   federated weight averaging across shard agents at deterministic
 //!   sync rounds.
+//! - [`migrate`] — the background migration subsystem: a Harmonia-style
+//!   second RL agent (plus heuristic and baseline policies) that
+//!   proactively promotes and demotes pages between devices.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 pub use sibyl_coop as coop;
 pub use sibyl_core as core;
 pub use sibyl_hss as hss;
+pub use sibyl_migrate as migrate;
 pub use sibyl_nn as nn;
 pub use sibyl_policies as policies;
 pub use sibyl_serve as serve;
