@@ -111,8 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // the baseline vs the best cooperative mode at the widest sweep
         // point.
         if shards == 8 {
-            let indep = report.outcome(CoopMode::Independent);
-            let coop = report.outcome(best);
+            let indep = report
+                .outcome(CoopMode::Independent)
+                .expect("run_all covers every mode");
+            let coop = report.outcome(best).expect("run_all covers every mode");
             let mut curve = Table::new(
                 [
                     "requests",
@@ -157,6 +159,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let four_shard = four_shard.expect("4-shard sweep ran");
     let baseline = four_shard
         .outcome(CoopMode::Independent)
+        .expect("run_all covers every mode")
         .aggregate
         .avg_latency_us;
     let mut row = |weight: f64, outcome: &sibyl_sim::CoopOutcome| {
@@ -176,7 +179,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shared.to_string(),
         ]);
     };
-    row(1.0, four_shard.outcome(CoopMode::SharedReplay));
+    row(
+        1.0,
+        four_shard
+            .outcome(CoopMode::SharedReplay)
+            .expect("run_all covers every mode"),
+    );
     let mut cfg = base_config(4);
     cfg.coop = cfg.coop.with_foreign_weight(0.5);
     let halved = CoopExperiment::new(cfg, trace.clone()).run_mode(CoopMode::SharedReplay)?;

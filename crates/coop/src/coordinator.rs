@@ -138,9 +138,13 @@ impl Coordinator {
         &self.config
     }
 
-    /// Sync rounds released so far.
+    /// Sync rounds released so far. Like [`Coordinator::leave`], this
+    /// tolerates a poisoned lock (a peer that panicked mid-`sync`): the
+    /// generation counter is updated atomically under the lock before
+    /// anything that can panic, so the recovered value is consistent.
     pub fn rounds(&self) -> u64 {
-        self.state.lock().expect("coordinator poisoned").generation
+        let state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.generation
     }
 
     /// Arrives at the pending sync round, depositing this member's
@@ -159,7 +163,11 @@ impl Coordinator {
         weights: Option<Vec<f32>>,
         published: Vec<Experience>,
     ) -> SyncOutcome {
-        let mut state = self.state.lock().expect("coordinator poisoned");
+        // Recover rather than propagate poison: every state transition in
+        // this function completes before anything that can panic, so a
+        // poisoned lock still holds a consistent barrier state and the
+        // surviving members can finish their rounds.
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         assert!(member < state.exp_slots.len(), "sync: member out of range");
         assert!(
             state.exp_slots[member].is_none(),
@@ -174,7 +182,8 @@ impl Coordinator {
             self.cv.notify_all();
         } else {
             while state.generation == gen {
-                state = self.cv.wait(state).expect("coordinator poisoned");
+                // sibyl-lint: allow(guard-across-blocking) -- condvar protocol: wait() atomically releases the guard while blocked and reacquires it on wake; holding it here is the barrier, not a deadlock
+                state = self.cv.wait(state).unwrap_or_else(|p| p.into_inner());
             }
         }
         state.outcome_for(member)

@@ -54,6 +54,7 @@
 //! # drop(coord);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -246,6 +246,7 @@ impl SibylAgent {
         if due {
             self.next_train_at += self.config.train_interval;
         }
+        // sibyl-lint: allow(unwrap-in-lib) -- invariant: ensure_runtime ran at the top of this method
         let rt = self.runtime.as_mut().expect("runtime initialized");
         match &mut rt.engine {
             Engine::Synchronous(learner) => {
@@ -310,6 +311,7 @@ impl SibylAgent {
         }
         self.ensure_runtime(manager);
         let observations: Vec<Vec<f32>> = {
+            // sibyl-lint: allow(unwrap-in-lib) -- invariant: ensure_runtime ran at the top of this method
             let rt = self.runtime.as_ref().expect("runtime initialized");
             reqs.iter()
                 .map(|req| rt.encoder.observe(req, manager).vector)
@@ -323,6 +325,7 @@ impl SibylAgent {
         let n_actions = self
             .runtime
             .as_ref()
+            // sibyl-lint: allow(unwrap-in-lib) -- invariant: ensure_runtime ran at the top of this method
             .expect("runtime initialized")
             .n_actions;
         let mut actions = vec![0usize; reqs.len()];
@@ -338,6 +341,7 @@ impl SibylAgent {
             self.stats.decisions += 1;
         }
         if !greedy.is_empty() {
+            // sibyl-lint: allow(unwrap-in-lib) -- invariant: ensure_runtime ran at the top of this method
             let rt = self.runtime.as_ref().expect("runtime initialized");
             let obs_len = observations[0].len();
             let mut flat = Vec::with_capacity(greedy.len() * obs_len);
@@ -384,6 +388,7 @@ impl SibylAgent {
             return;
         }
         let rewards: Vec<f32> = {
+            // sibyl-lint: allow(unwrap-in-lib) -- invariant: runtime.is_none() returned above
             let rt = self.runtime.as_ref().expect("runtime initialized");
             outcomes.iter().map(|o| rt.shaper.reward(o)).collect()
         };
@@ -396,11 +401,13 @@ impl SibylAgent {
             let next_obs = if i + 1 < batch.len() {
                 batch[i + 1].obs.clone()
             } else {
+                // sibyl-lint: allow(unwrap-in-lib) -- invariant: batch.pop() is Some when the loop body runs
                 last.as_ref().expect("non-empty batch").obs.clone()
             };
             self.push_experience(Experience {
                 obs: pending.obs.clone(),
                 action: pending.action,
+                // sibyl-lint: allow(unwrap-in-lib) -- invariant: reward assigned in the zip loop above
                 reward: pending.reward.expect("reward set above"),
                 next_obs,
             });
@@ -577,6 +584,7 @@ impl PlacementPolicy for SibylAgent {
         );
         self.ensure_runtime(ctx.manager);
         let obs = {
+            // sibyl-lint: allow(unwrap-in-lib) -- invariant: ensure_runtime ran at the top of this method
             let rt = self.runtime.as_ref().expect("runtime initialized");
             rt.encoder.observe(req, ctx.manager)
         };
@@ -585,6 +593,7 @@ impl PlacementPolicy for SibylAgent {
         self.finalize_pending(&obs.vector);
 
         let eps = self.epsilon();
+        // sibyl-lint: allow(unwrap-in-lib) -- invariant: ensure_runtime ran at the top of this method
         let rt = self.runtime.as_mut().expect("runtime initialized");
         let explore = self.rng.gen::<f64>() < eps;
         let action = if explore {

@@ -119,6 +119,7 @@ impl Categorical {
     ///
     /// Panics if `logits.len() != n_outputs()`.
     pub fn best_action(&self, logits: &[f32]) -> usize {
+        // sibyl-lint: allow(unwrap-in-lib) -- invariant: the support always has n_actions > 0 entries
         sibyl_nn::argmax(&self.q_values(logits)).expect("n_actions > 0")
     }
 

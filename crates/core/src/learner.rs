@@ -49,6 +49,7 @@ impl ValueHead {
 
     /// Greedy action.
     pub(crate) fn best_action(&self, logits: &[f32]) -> usize {
+        // sibyl-lint: allow(unwrap-in-lib) -- invariant: q_values always returns n_actions > 0 entries
         sibyl_nn::argmax(&self.q_values(logits)).expect("at least one action")
     }
 
@@ -282,6 +283,7 @@ impl Learner {
         if self.buffer.is_empty() {
             return None;
         }
+        // sibyl-lint: allow(wallclock-in-logic) -- train_ns telemetry only: the duration is reported, never fed back into decisions
         let started = std::time::Instant::now();
         let mut total_loss = 0.0f32;
         let mut total_samples = 0usize;

@@ -47,6 +47,7 @@
 //! sibyl.feedback(&req, &outcome, &ctx);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -89,6 +89,7 @@ impl BackgroundTrainer {
                     }
                 }
             })
+            // sibyl-lint: allow(unwrap-in-lib) -- spawn failure at construction is unrecoverable for a background trainer; documented panic
             .expect("failed to spawn sibyl training thread");
 
         BackgroundTrainer {
@@ -154,6 +155,7 @@ mod tests {
             t.send(exp(i as f32 * 0.01));
         }
         // Wait for at least one publication.
+        // sibyl-lint: allow(wallclock-in-logic) -- test-only liveness deadline: bounds how long the test waits, never the result
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
             {
@@ -164,6 +166,7 @@ mod tests {
                 }
             }
             assert!(
+                // sibyl-lint: allow(wallclock-in-logic) -- test-only liveness deadline: bounds how long the test waits, never the result
                 std::time::Instant::now() < deadline,
                 "trainer never published"
             );

@@ -38,6 +38,7 @@
 //! assert!(out.latency_us > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -317,6 +317,7 @@ impl StorageManager {
             "StorageManager: need at least two devices"
         );
         assert_eq!(
+            // sibyl-lint: allow(unwrap-in-lib) -- invariant: the devices.len() >= 2 assert above guarantees a last element
             *capacities.last().expect("non-empty"),
             u64::MAX,
             "StorageManager: the slowest device must be unlimited"

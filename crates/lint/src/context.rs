@@ -1,0 +1,407 @@
+//! Where a finding lives decides whether it is a finding at all.
+//!
+//! Two layers of context feed the rules:
+//!
+//! 1. **File class** — derived from the workspace-relative path. Library
+//!    sources carry the full contract; bench code may read wall clocks
+//!    (it measures them); test harnesses may `unwrap`.
+//! 2. **Test regions** — spans inside library files under `#[cfg(test)]`
+//!    or `#[test]`, found by brace-matching the token stream. Rules that
+//!    exist to keep *production* logic deterministic are silent there,
+//!    while rules that also guard test hygiene (wall-clock deadlines,
+//!    entropy) still apply.
+//!
+//! This module also parses suppression annotations:
+//!
+//! ```text
+//! // sibyl-lint: allow(rule-name, other-rule) -- justification
+//! ```
+//!
+//! The reason after `--` is mandatory — an allow without a written
+//! justification is itself a finding. Doc comments never count as
+//! annotations, so documentation (like this) can quote the grammar.
+
+use std::path::Path;
+
+use crate::lexer::{Comment, Lexed, Tok};
+use crate::rules::Rule;
+
+/// What kind of source file is being linted; decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library or binary code under a crate's `src/` (including the
+    /// workspace facade). Full contract.
+    Lib,
+    /// The bench crate's library (`crates/bench/src`): measurement
+    /// harness code — may read wall clocks, but its *tables* must stay
+    /// deterministic, so the data-ordering rules still apply.
+    BenchLib,
+    /// A `harness = false` bench target under `benches/`.
+    BenchTarget,
+    /// Integration tests under a `tests/` directory.
+    TestCode,
+    /// Example binaries under `examples/`.
+    ExampleCode,
+}
+
+/// Classifies `rel` (a path relative to the workspace root), or `None`
+/// for files the scanner must skip entirely: vendored shims (third-party
+/// API surface, not project logic), build output, lint fixtures (which
+/// contain violations by design), and VCS internals.
+pub fn classify(rel: &Path) -> Option<FileClass> {
+    let parts: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    for skip in ["shims", "target", "fixtures", ".git"] {
+        if parts.contains(&skip) {
+            return None;
+        }
+    }
+    let bench_crate = parts.windows(2).any(|w| w == ["crates", "bench"]);
+    if parts.contains(&"benches") {
+        return Some(FileClass::BenchTarget);
+    }
+    if bench_crate {
+        return Some(FileClass::BenchLib);
+    }
+    if parts.contains(&"tests") {
+        return Some(FileClass::TestCode);
+    }
+    if parts.contains(&"examples") {
+        return Some(FileClass::ExampleCode);
+    }
+    Some(FileClass::Lib)
+}
+
+/// Token-index spans (half-open) of test-only code inside a file:
+/// items annotated `#[cfg(test)]` or `#[test]`.
+#[derive(Debug, Default)]
+pub struct TestSpans(Vec<(usize, usize)>);
+
+impl TestSpans {
+    /// `true` if token index `i` lies inside a test-only item.
+    pub fn contains(&self, i: usize) -> bool {
+        self.0.iter().any(|&(s, e)| s <= i && i < e)
+    }
+}
+
+/// Finds test-only item spans by walking the token stream.
+///
+/// An attribute whose tokens include the identifier `test` (and not
+/// `not`, so `#[cfg(not(test))]` stays production code) marks the item
+/// that follows: the span runs to the item's terminating `;` or the
+/// close of its first brace block — which for `#[cfg(test)] mod tests`
+/// is the whole module body.
+pub fn test_spans(lexed: &Lexed) -> TestSpans {
+    let toks = &lexed.tokens;
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].tok.is_punct('#') && toks.get(i + 1).is_some_and(|t| t.tok.is_punct('[')) {
+            let attr_start = i;
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => depth -= 1,
+                    Tok::Ident(s) if s == "test" => saw_test = true,
+                    Tok::Ident(s) if s == "not" => saw_not = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_test && !saw_not {
+                let end = item_end(toks, j);
+                spans.push((attr_start, end));
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    TestSpans(spans)
+}
+
+/// The token index one past the item starting at `i`: past the matching
+/// `}` of the first top-level brace block, or past the first `;` before
+/// any block opens. Skips further attributes and leading keywords.
+fn item_end(toks: &[crate::lexer::Token], mut i: usize) -> usize {
+    // Skip any further attributes between the test attribute and the item.
+    while i < toks.len()
+        && toks[i].tok.is_punct('#')
+        && toks.get(i + 1).is_some_and(|t| t.tok.is_punct('['))
+    {
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// One parsed `sibyl-lint:` annotation comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the annotation sits on.
+    pub line: u32,
+    /// Rules it suppresses.
+    pub rules: Vec<Rule>,
+    /// Parse problem, if any — malformed annotations become findings
+    /// rather than silently suppressing nothing.
+    pub error: Option<String>,
+}
+
+const PREFIX: &str = "sibyl-lint:";
+
+/// Extracts every `sibyl-lint:` annotation from a file's comments.
+/// Doc comments are skipped by design.
+pub fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let Some(pos) = c.text.find(PREFIX) else {
+            continue;
+        };
+        let rest = c.text[pos + PREFIX.len()..].trim();
+        out.push(parse_one(c.line, rest));
+    }
+    out
+}
+
+fn parse_one(line: u32, rest: &str) -> Allow {
+    let malformed = |msg: &str| Allow {
+        line,
+        rules: Vec::new(),
+        error: Some(msg.to_string()),
+    };
+    let Some(body) = rest.strip_prefix("allow") else {
+        return malformed("expected `allow(<rule>, …) -- <reason>`");
+    };
+    let body = body.trim_start();
+    let Some(body) = body.strip_prefix('(') else {
+        return malformed("expected `(` after `allow`");
+    };
+    let Some(close) = body.find(')') else {
+        return malformed("unclosed rule list");
+    };
+    let (list, tail) = body.split_at(close);
+    let mut rules = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return malformed("empty rule name in allow list");
+        }
+        match Rule::from_name(name) {
+            Some(r) => rules.push(r),
+            None => {
+                return malformed(&format!("unknown rule `{name}`"));
+            }
+        }
+    }
+    if rules.is_empty() {
+        return malformed("empty allow list");
+    }
+    let tail = tail[1..].trim(); // past ')'
+    let Some(reason) = tail.strip_prefix("--") else {
+        return malformed("missing `-- <reason>` justification");
+    };
+    if reason.trim().is_empty() {
+        return malformed("empty justification after `--`");
+    }
+    Allow {
+        line,
+        rules,
+        error: None,
+    }
+}
+
+/// Suppression lookup: a finding on `line` is covered by an allow on the
+/// same line (trailing comment) or on any comment-only line in the
+/// contiguous run directly above it.
+#[derive(Debug)]
+pub struct Suppressions<'a> {
+    allows: &'a [Allow],
+    lexed: &'a Lexed,
+}
+
+impl<'a> Suppressions<'a> {
+    /// Builds the lookup for one file.
+    pub fn new(allows: &'a [Allow], lexed: &'a Lexed) -> Self {
+        Suppressions { allows, lexed }
+    }
+
+    /// `true` if `rule` is allowed at `line`.
+    pub fn covers(&self, rule: Rule, line: u32) -> bool {
+        if self.at(rule, line) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && !self.lexed.code_lines.contains(&l) {
+            if self.at(rule, l) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    fn at(&self, rule: Rule, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.line == line && a.error.is_none() && a.rules.contains(&rule))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn classification_by_path() {
+        let f = |p: &str| classify(Path::new(p));
+        assert_eq!(f("crates/core/src/agent.rs"), Some(FileClass::Lib));
+        assert_eq!(f("src/lib.rs"), Some(FileClass::Lib));
+        assert_eq!(f("crates/bench/src/lib.rs"), Some(FileClass::BenchLib));
+        assert_eq!(
+            f("crates/bench/benches/sec10_overhead.rs"),
+            Some(FileClass::BenchTarget)
+        );
+        assert_eq!(f("tests/smoke.rs"), Some(FileClass::TestCode));
+        assert_eq!(
+            f("crates/nn/tests/train_batch_parity.rs"),
+            Some(FileClass::TestCode)
+        );
+        assert_eq!(f("examples/quickstart.rs"), Some(FileClass::ExampleCode));
+        assert_eq!(f("shims/rand/src/lib.rs"), None);
+        assert_eq!(f("crates/lint/tests/fixtures/bad.rs"), None);
+        assert_eq!(f("target/debug/build/foo.rs"), None);
+    }
+
+    #[test]
+    fn cfg_test_mod_span_covers_module_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}";
+        let lexed = lex(src);
+        let spans = test_spans(&lexed);
+        let idx_of = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .position(|t| t.tok.is_ident(name))
+                .expect("token present")
+        };
+        assert!(!spans.contains(idx_of("live")));
+        assert!(spans.contains(idx_of("helper")));
+        assert!(!spans.contains(idx_of("after")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))]\nfn shipping() {}";
+        let lexed = lex(src);
+        let spans = test_spans(&lexed);
+        assert!(!spans.contains(3));
+    }
+
+    #[test]
+    fn test_fn_span_is_just_that_fn() {
+        let src = "#[test]\n#[should_panic]\nfn boom() { let x = 1; }\nfn live() {}";
+        let lexed = lex(src);
+        let spans = test_spans(&lexed);
+        let boom = lexed
+            .tokens
+            .iter()
+            .position(|t| t.tok.is_ident("boom"))
+            .expect("boom present");
+        let live = lexed
+            .tokens
+            .iter()
+            .position(|t| t.tok.is_ident("live"))
+            .expect("live present");
+        assert!(spans.contains(boom));
+        assert!(!spans.contains(live));
+    }
+
+    #[test]
+    fn allow_parsing_happy_path() {
+        let lexed =
+            lex("// sibyl-lint: allow(unwrap-in-lib, wallclock-in-logic) -- invariant\nlet x = 1;");
+        let allows = parse_allows(&lexed.comments);
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].error.is_none());
+        assert_eq!(
+            allows[0].rules,
+            vec![Rule::UnwrapInLib, Rule::WallclockInLogic]
+        );
+        let sup = Suppressions::new(&allows, &lexed);
+        assert!(sup.covers(Rule::UnwrapInLib, 2));
+        assert!(!sup.covers(Rule::EntropyRng, 2));
+    }
+
+    #[test]
+    fn allow_requires_reason_and_known_rule() {
+        let no_reason = lex("// sibyl-lint: allow(unwrap-in-lib)\n");
+        assert!(parse_allows(&no_reason.comments)[0].error.is_some());
+        let unknown = lex("// sibyl-lint: allow(no-such-rule) -- because\n");
+        assert!(parse_allows(&unknown.comments)[0].error.is_some());
+    }
+
+    #[test]
+    fn doc_comments_never_annotate() {
+        let lexed = lex("/// sibyl-lint: allow(unwrap-in-lib) -- doc example\nlet x = 1;");
+        assert!(parse_allows(&lexed.comments).is_empty());
+    }
+
+    #[test]
+    fn suppression_walks_over_comment_only_lines() {
+        let src = "// sibyl-lint: allow(unwrap-in-lib) -- reason here\n// more commentary\nlet x = opt.unwrap();";
+        let lexed = lex(src);
+        let allows = parse_allows(&lexed.comments);
+        let sup = Suppressions::new(&allows, &lexed);
+        assert!(sup.covers(Rule::UnwrapInLib, 3));
+    }
+
+    #[test]
+    fn suppression_does_not_cross_code_lines() {
+        let src =
+            "// sibyl-lint: allow(unwrap-in-lib) -- reason here\nlet y = 1;\nlet x = opt.unwrap();";
+        let lexed = lex(src);
+        let allows = parse_allows(&lexed.comments);
+        let sup = Suppressions::new(&allows, &lexed);
+        assert!(!sup.covers(Rule::UnwrapInLib, 3));
+    }
+}

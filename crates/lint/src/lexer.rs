@@ -1,0 +1,475 @@
+//! A lightweight Rust tokenizer.
+//!
+//! The workspace builds offline, so `syn` is unavailable; the lint rules
+//! instead operate on this hand-rolled token stream. The lexer
+//! understands exactly as much Rust as the rules need:
+//!
+//! - identifiers and keywords (including raw identifiers `r#type`),
+//! - all literal shapes that could otherwise confuse a scanner — plain,
+//!   raw (`r#"…"#`), and byte strings, char literals vs. lifetimes,
+//!   numbers with suffixes and exponents,
+//! - line and (nested) block comments, kept separately so annotation
+//!   comments can be parsed without polluting the token stream,
+//! - single-character punctuation.
+//!
+//! Every token carries its 1-based source line, and the lexer records
+//! which lines contain code tokens at all — the annotation-suppression
+//! walk uses that to step over comment-only lines.
+
+use std::collections::BTreeSet;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// Any literal (string, raw string, byte string, char, number),
+    /// carrying its raw source text.
+    Lit(String),
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier's text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// `true` if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == name)
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment (line or block) with its starting line and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Body text, without the `//` / `/*` framing.
+    pub text: String,
+    /// `true` for doc comments (`///`, `//!`, `/**`, `/*!`): annotation
+    /// parsing ignores those, so rule documentation can quote the
+    /// grammar without creating live annotations.
+    pub doc: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments excluded).
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// Lines containing at least one code token.
+    pub code_lines: BTreeSet<u32>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs simply consume
+/// to end of input, which is good enough for a linter (the compiler
+/// rejects such files anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0);
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.code_lines.insert(line);
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_lit(),
+                '\'' => self.quote(),
+                'r' if matches!(self.peek(1), Some('"' | '#')) => self.raw_prefixed(),
+                'b' if matches!(self.peek(1), Some('"' | '\'' | 'r')) => self.byte_prefixed(),
+                _ if c.is_alphabetic() || c == '_' => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        let raw: String = self.chars[start..self.i].iter().collect();
+        let doc = raw.starts_with("///") || raw.starts_with("//!");
+        let text = raw
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .to_string();
+        self.out.comments.push(Comment { line, text, doc });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('*' | '!')) && self.peek(1) != Some('/');
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let raw: String = self.chars[start..self.i].iter().collect();
+        let text = raw
+            .trim_start_matches("/*")
+            .trim_end_matches("*/")
+            .to_string();
+        self.out.comments.push(Comment { line, text, doc });
+    }
+
+    /// A plain (escaped) string body, starting at the opening `"`.
+    fn string_lit(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump();
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(Tok::Lit(text), line);
+    }
+
+    /// `'` — a lifetime, a loop label, or a char literal.
+    fn quote(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let next = self.peek(1);
+        let is_lifetime =
+            next.is_some_and(|c| c.is_alphabetic() || c == '_') && self.peek(2) != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            self.push(Tok::Lifetime, line);
+            return;
+        }
+        // Char literal: 'x', '\n', '\u{…}', '\''.
+        self.bump(); // opening '
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump();
+            } else if c == '\'' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(Tok::Lit(text), line);
+    }
+
+    /// `r"…"`, `r#"…"#`, or a raw identifier `r#name`.
+    fn raw_prefixed(&mut self) {
+        let line = self.line;
+        // Count hashes after the `r`.
+        let mut hashes = 0usize;
+        while self.peek(1 + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(1 + hashes) == Some('"') {
+            self.raw_string(hashes, line);
+        } else if hashes == 1 && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_') {
+            // Raw identifier r#name.
+            self.bump(); // r
+            self.bump(); // #
+            self.ident();
+        } else {
+            // Just the identifier `r`.
+            self.ident();
+        }
+    }
+
+    /// `b"…"`, `br#"…"#`, or `b'x'`.
+    fn byte_prefixed(&mut self) {
+        let line = self.line;
+        match self.peek(1) {
+            Some('"') => {
+                self.bump(); // b
+                self.string_lit();
+            }
+            Some('\'') => {
+                self.bump(); // b
+                self.quote();
+            }
+            Some('r') => {
+                let mut hashes = 0usize;
+                while self.peek(2 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some('"') {
+                    self.bump(); // b
+                    self.raw_string(hashes, line);
+                } else {
+                    self.ident();
+                }
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// A raw string starting at the current `r`, with `hashes` hash
+    /// marks before the opening quote.
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        let start = self.i;
+        self.bump(); // r
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening "
+        'body: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // Check for closing quote + hashes.
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        self.bump();
+                        continue 'body;
+                    }
+                }
+                self.bump(); // "
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(Tok::Lit(text), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(Tok::Ident(text), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Float point — but not a range like `1..5`.
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && self
+                    .chars
+                    .get(self.i.wrapping_sub(1))
+                    .is_some_and(|p| *p == 'e' || *p == 'E')
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Exponent sign in `1.0e-5`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(Tok::Lit(text), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.tok.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("let x = 1;\nfn foo() {}\n");
+        assert!(l.tokens[0].tok.is_ident("let"));
+        assert_eq!(l.tokens[0].line, 1);
+        let fn_tok = l
+            .tokens
+            .iter()
+            .find(|t| t.tok.is_ident("fn"))
+            .map(|t| t.line);
+        assert_eq!(fn_tok, Some(2));
+        assert!(l.code_lines.contains(&1) && l.code_lines.contains(&2));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // Identifier-looking text inside string literals must not
+        // surface as identifiers — rules match on idents only.
+        assert_eq!(
+            idents(r#"let s = "Instant::now from_entropy";"#),
+            ["let", "s"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let src = "let s = r#\"text \" with quote\"#; /* outer /* inner */ still */ let t = 2;";
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime))
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.tok, Tok::Lit(s) if s.starts_with('\'')))
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let l = lex(r"let c = '\''; let d = '\n';");
+        let lits = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lit(_)))
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let l = lex("for i in 1..15 { let f = 1.5e-3f64; }");
+        let lits: Vec<String> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lit(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, ["1", "15", "1.5e-3f64"]);
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let l = lex("/// doc\n//! inner\n// plain\n/** block doc */\nlet x = 1;");
+        let flags: Vec<bool> = l.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(flags, [true, true, false, true]);
+    }
+
+    #[test]
+    fn comment_only_lines_are_not_code_lines() {
+        let l = lex("let a = 1;\n// just a comment\nlet b = 2;");
+        assert!(l.code_lines.contains(&1));
+        assert!(!l.code_lines.contains(&2));
+        assert!(l.code_lines.contains(&3));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+}

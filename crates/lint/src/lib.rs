@@ -1,0 +1,40 @@
+//! `sibyl-lint` — the workspace determinism & concurrency contract,
+//! as a program.
+//!
+//! The Sibyl stack's headline guarantee is bit-identical results across
+//! runs: the parity suites (PR 4) pin the numerics after the fact, but
+//! nothing stopped a new `HashMap` iteration, an entropy-seeded RNG, or
+//! a wall-clock read from silently breaking reproducibility until a
+//! long `sec14_scale` run had to bisect it. This crate encodes the
+//! contract as six deny-by-default rules checked at build time:
+//!
+//! | rule | catches |
+//! |------|---------|
+//! | `wallclock-in-logic` | `Instant::now` / `SystemTime` outside bench code |
+//! | `unordered-map-iteration` | hash-ordered iteration in non-test code |
+//! | `entropy-rng` | RNG construction that is not caller-seeded |
+//! | `unwrap-in-lib` | `unwrap`/`expect` in library non-test code |
+//! | `guard-across-blocking` | lock guards live across `send`/`recv`/`wait`/`join` |
+//! | `unordered-float-reduction` | order-unstable float folds |
+//!
+//! Findings are suppressible only by an annotation that names the rule
+//! *and* writes down why:
+//!
+//! ```text
+//! // sibyl-lint: allow(wallclock-in-logic) -- train_ns telemetry; never feeds decisions
+//! ```
+//!
+//! A malformed annotation is itself a finding (`bad-annotation`) and is
+//! not suppressible. The container has no crate registry, so the crate
+//! is dependency-free and carries its own tokenizer ([`lexer`]).
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use context::{classify, FileClass};
+pub use rules::{Finding, Rule, ALL_RULES};
+pub use scan::{lint_source, scan_workspace};

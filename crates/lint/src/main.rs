@@ -1,0 +1,73 @@
+//! CLI for the workspace determinism & concurrency contract checker.
+//!
+//! ```text
+//! sibyl-lint [--deny] [--root <dir>] [--list-rules]
+//! ```
+//!
+//! Prints one line per finding (`file:line: [rule] message`). Exit code
+//! 0 when clean; with `--deny`, exit code 1 when any finding survives
+//! its annotations; exit code 2 on usage or I/O errors. CI runs
+//! `cargo run -p sibyl-lint --release -- --deny` ahead of the test jobs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sibyl_lint::{scan_workspace, ALL_RULES};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root requires a directory"),
+            },
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{:<28} {}", rule.name(), rule.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: sibyl-lint [--deny] [--root <dir>] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let findings = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sibyl-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("sibyl-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "sibyl-lint: {} finding{} (suppress only with `// sibyl-lint: allow(<rule>) -- <reason>`)",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+        if deny {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("sibyl-lint: {msg}");
+    eprintln!("usage: sibyl-lint [--deny] [--root <dir>] [--list-rules]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,868 @@
+//! The six rules of the determinism & concurrency contract.
+//!
+//! Every rule is deny-by-default: a match is a finding unless the line
+//! carries (or sits under) a `// sibyl-lint: allow(<rule>) -- <reason>`
+//! annotation. The checks are token-pattern passes over the
+//! [`lexer`](crate::lexer) stream — deliberately heuristic (no type
+//! information), tuned so that everything they miss is rare and
+//! everything they catch is worth a human decision.
+
+use crate::context::{FileClass, TestSpans};
+use crate::lexer::{Lexed, Tok, Token};
+
+/// The rules of the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `Instant::now` / `SystemTime` outside bench code: wall-clock
+    /// reads feeding logic break run-to-run reproducibility.
+    WallclockInLogic,
+    /// Iterating a `HashMap`/`HashSet` (`RandomState` ⇒ order differs
+    /// across runs) without immediately imposing an order.
+    UnorderedMapIteration,
+    /// RNG construction that is not caller-seeded: entropy sources, or
+    /// a hard-coded seed buried inside library logic.
+    EntropyRng,
+    /// `unwrap`/`expect` in library non-test code: panics where the
+    /// stack has typed error enums.
+    UnwrapInLib,
+    /// A lock guard live across a blocking call (`send`/`recv`/`wait`/
+    /// `join`): the deadlock shape the coop barrier already met once.
+    GuardAcrossBlocking,
+    /// An order-unstable floating-point reduction (hash-ordered source
+    /// folded into an `f32`/`f64`) in parity-pinned kernels.
+    UnorderedFloatReduction,
+    /// A malformed suppression annotation — never silently ignored.
+    BadAnnotation,
+}
+
+/// All real (annotatable) rules, in reporting order.
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::WallclockInLogic,
+    Rule::UnorderedMapIteration,
+    Rule::EntropyRng,
+    Rule::UnwrapInLib,
+    Rule::GuardAcrossBlocking,
+    Rule::UnorderedFloatReduction,
+];
+
+impl Rule {
+    /// The rule's kebab-case name, as used in annotations and output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallclockInLogic => "wallclock-in-logic",
+            Rule::UnorderedMapIteration => "unordered-map-iteration",
+            Rule::EntropyRng => "entropy-rng",
+            Rule::UnwrapInLib => "unwrap-in-lib",
+            Rule::GuardAcrossBlocking => "guard-across-blocking",
+            Rule::UnorderedFloatReduction => "unordered-float-reduction",
+            Rule::BadAnnotation => "bad-annotation",
+        }
+    }
+
+    /// Parses a rule name (annotations may name any rule but
+    /// `bad-annotation`, which is not suppressible).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.name() == name)
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::WallclockInLogic => {
+                "wall-clock reads (Instant::now / SystemTime) outside bench code"
+            }
+            Rule::UnorderedMapIteration => {
+                "HashMap/HashSet iteration without an imposed order in non-test code"
+            }
+            Rule::EntropyRng => "RNG construction that is not caller-seeded",
+            Rule::UnwrapInLib => "unwrap/expect in library non-test code",
+            Rule::GuardAcrossBlocking => {
+                "lock guard held across send/recv/wait/join (deadlock shape)"
+            }
+            Rule::UnorderedFloatReduction => {
+                "float reduction over a hash-ordered source (order-unstable sum)"
+            }
+            Rule::BadAnnotation => "malformed sibyl-lint allow annotation",
+        }
+    }
+}
+
+/// One unsuppressed rule match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file path (filled by the scanner).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Whether `rule` applies to code of `class`, inside (`in_test`) or
+/// outside test regions. This is the contract's applicability matrix —
+/// mirrored in ARCHITECTURE.md's "Determinism contract" section.
+fn applies(rule: Rule, class: FileClass, in_test: bool) -> bool {
+    use FileClass::*;
+    match rule {
+        // Bench code measures wall time for a living; everything else —
+        // including tests, whose deadline reads must be justified — is
+        // covered.
+        Rule::WallclockInLogic => !matches!(class, BenchLib | BenchTarget),
+        // Data-ordering rules guard anything that produces results or
+        // output; tests iterate maps for assertions all the time.
+        Rule::UnorderedMapIteration | Rule::UnorderedFloatReduction => {
+            !matches!(class, TestCode) && !in_test
+        }
+        // Entropy is banned everywhere — the whole workspace must be
+        // reproducible, benches and tests included.
+        Rule::EntropyRng => true,
+        Rule::UnwrapInLib => matches!(class, Lib) && !in_test,
+        // A deadlock in a test hangs CI just as hard.
+        Rule::GuardAcrossBlocking => true,
+        Rule::BadAnnotation => true,
+    }
+}
+
+/// Runs every rule over one lexed file. Returned findings are
+/// *unsuppressed* matches; the caller applies annotations.
+pub fn check_file(lexed: &Lexed, class: FileClass, spans: &TestSpans) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &lexed.tokens;
+    let hash_names = collect_hash_names(toks);
+
+    let mut push = |rule: Rule, idx: usize, message: String| {
+        if applies(rule, class, spans.contains(idx)) {
+            out.push(Finding {
+                file: String::new(),
+                line: toks[idx].line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for i in 0..toks.len() {
+        wallclock(toks, i, &mut push);
+        entropy(toks, i, class, spans, &mut push);
+        unwrap_in_lib(toks, i, &mut push);
+        map_iteration(toks, i, &hash_names, &mut push);
+    }
+    guard_across_blocking(toks, &mut push);
+    out
+}
+
+type Push<'a> = dyn FnMut(Rule, usize, String) + 'a;
+
+// ---------------------------------------------------------------- rule 1
+
+fn wallclock(toks: &[Token], i: usize, push: &mut Push<'_>) {
+    if let Some(name) = toks[i].tok.ident() {
+        match name {
+            "SystemTime" | "UNIX_EPOCH" => push(
+                Rule::WallclockInLogic,
+                i,
+                format!("`{name}` is a wall-clock source; results must not depend on it"),
+            ),
+            "Instant" if path_call(toks, i, "now") => push(
+                Rule::WallclockInLogic,
+                i,
+                "`Instant::now()` in logic; only bench code and annotated telemetry spans \
+                 may read the clock"
+                    .to_string(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// `toks[i] :: method` — e.g. `Instant :: now`.
+fn path_call(toks: &[Token], i: usize, method: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.tok.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.tok.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.tok.is_ident(method))
+}
+
+// ---------------------------------------------------------------- rule 3
+
+const ENTROPY_IDENTS: [&str; 6] = [
+    "from_entropy",
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_os_rng",
+    "getrandom",
+];
+
+fn entropy(toks: &[Token], i: usize, class: FileClass, spans: &TestSpans, push: &mut Push<'_>) {
+    let Some(name) = toks[i].tok.ident() else {
+        return;
+    };
+    if ENTROPY_IDENTS.contains(&name) {
+        push(
+            Rule::EntropyRng,
+            i,
+            format!(
+                "`{name}` draws OS entropy; every RNG must be built from a caller-provided seed"
+            ),
+        );
+        return;
+    }
+    if name == "rand" && path_call(toks, i, "random") {
+        push(
+            Rule::EntropyRng,
+            i,
+            "`rand::random` uses the thread RNG; seed explicitly instead".to_string(),
+        );
+        return;
+    }
+    // Hard-coded seeds: a literal buried in library logic means the
+    // caller cannot vary — or even see — the stream. Applies to library
+    // code only; tests and bench targets pin seeds by design.
+    let literal_seed_scope =
+        matches!(class, FileClass::Lib | FileClass::BenchLib) && !spans.contains(i);
+    if literal_seed_scope
+        && (name == "seed_from_u64" || name == "from_seed")
+        && toks.get(i + 1).is_some_and(|t| t.tok.is_punct('('))
+        && toks
+            .get(i + 2)
+            .is_some_and(|t| matches!(t.tok, Tok::Lit(_)) || t.tok.is_punct('['))
+    {
+        push(
+            Rule::EntropyRng,
+            i,
+            format!(
+                "`{name}` with a hard-coded seed in library code; thread the seed from the caller"
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------- rule 4
+
+fn unwrap_in_lib(toks: &[Token], i: usize, push: &mut Push<'_>) {
+    if !toks[i].tok.is_punct('.') {
+        return;
+    }
+    let Some(name) = toks.get(i + 1).and_then(|t| t.tok.ident()) else {
+        return;
+    };
+    if (name == "unwrap" || name == "expect")
+        && toks.get(i + 2).is_some_and(|t| t.tok.is_punct('('))
+    {
+        push(
+            Rule::UnwrapInLib,
+            i + 1,
+            format!("`.{name}()` in library code; return the crate's typed error instead"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------- rule 2
+// (and rule 6, which triggers on the same sites)
+
+const ITER_METHODS: [&str; 11] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "retain_mut",
+];
+
+/// Identifiers escaping the iteration rule when they appear in the same
+/// statement: the result is ordered (`sort*`, `BTree*`, `BinaryHeap`) or
+/// order-insensitive (cardinality, membership, universal tests).
+const ORDER_SAFE: [&str; 11] = [
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "count",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "any",
+    "all",
+    "extend",
+];
+
+/// Names declared as `HashMap`/`HashSet` in this file — via type
+/// ascription (`name: HashMap<…>`, fields and bindings alike) or direct
+/// construction (`name = HashMap::new()`).
+fn collect_hash_names(toks: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        let Some(ty) = toks[i].tok.ident() else {
+            continue;
+        };
+        if ty != "HashMap" && ty != "HashSet" {
+            continue;
+        }
+        // Ascription: walk back over `: & mut std :: collections`.
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match &toks[j].tok {
+                Tok::Punct(':' | '&') | Tok::Lifetime => continue,
+                Tok::Ident(s) if s == "std" || s == "collections" || s == "mut" => continue,
+                _ => break,
+            }
+        }
+        let ascribed = toks[j]
+            .tok
+            .ident()
+            .filter(|_| toks.get(j + 1).is_some_and(|t| t.tok.is_punct(':')));
+        if let Some(name) = ascribed {
+            names.push(name.to_string());
+            continue;
+        }
+        // Construction: `name = HashMap :: new()` (also with_capacity /
+        // from / default).
+        let constructed = path_call(toks, i, "new")
+            || path_call(toks, i, "with_capacity")
+            || path_call(toks, i, "from")
+            || path_call(toks, i, "default");
+        if constructed
+            && i >= 2
+            && toks[i - 1].tok.is_punct('=')
+            && matches!(toks[i - 2].tok, Tok::Ident(_))
+        {
+            if let Some(name) = toks[i - 2].tok.ident() {
+                if name != "mut" {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+fn map_iteration(toks: &[Token], i: usize, hash_names: &[String], push: &mut Push<'_>) {
+    let Some(name) = toks[i].tok.ident() else {
+        return;
+    };
+    // `for (k, v) in &name {` — iteration without a method call.
+    if name == "in" {
+        let mut j = i + 1;
+        while toks
+            .get(j)
+            .is_some_and(|t| t.tok.is_punct('&') || t.tok.is_ident("mut"))
+        {
+            j += 1;
+        }
+        let target = toks.get(j).and_then(|t| t.tok.ident());
+        if let Some(target) = target {
+            if hash_names.iter().any(|n| n == target)
+                && toks.get(j + 1).is_some_and(|t| t.tok.is_punct('{'))
+            {
+                push(
+                    Rule::UnorderedMapIteration,
+                    j,
+                    format!(
+                        "iterating hash container `{target}`: RandomState makes the order \
+                         differ across runs; collect and sort, or annotate why order cannot matter"
+                    ),
+                );
+            }
+        }
+        return;
+    }
+    if !hash_names.iter().any(|n| n == name) {
+        return;
+    }
+    if !toks.get(i + 1).is_some_and(|t| t.tok.is_punct('.')) {
+        return;
+    }
+    let Some(method) = toks.get(i + 2).and_then(|t| t.tok.ident()) else {
+        return;
+    };
+    if !ITER_METHODS.contains(&method) {
+        return;
+    }
+    let (start, end) = statement(toks, i);
+    if toks[start..end].iter().any(|t| {
+        t.tok
+            .ident()
+            .is_some_and(|s| s.starts_with("sort") || ORDER_SAFE.contains(&s))
+    }) {
+        return;
+    }
+    if sorted_soon_after(toks, start, end) {
+        return;
+    }
+    push(
+        Rule::UnorderedMapIteration,
+        i,
+        format!(
+            "iterating hash container `{name}` via `.{method}()`: RandomState makes the order \
+             differ across runs; collect and sort, or annotate why order cannot matter"
+        ),
+    );
+    float_reduction(toks, i, name, start, end, push);
+}
+
+/// Rule 6: the statement both iterates a hash container and folds the
+/// stream into a float — the canonical order-unstable reduction.
+fn float_reduction(
+    toks: &[Token],
+    i: usize,
+    name: &str,
+    start: usize,
+    end: usize,
+    push: &mut Push<'_>,
+) {
+    let stmt = &toks[start..end];
+    let float_ty = stmt
+        .iter()
+        .any(|t| t.tok.is_ident("f32") || t.tok.is_ident("f64"));
+    let float_fold = stmt.windows(3).any(|w| {
+        w[0].tok.is_ident("fold")
+            && w[1].tok.is_punct('(')
+            && matches!(&w[2].tok, Tok::Lit(s) if s.contains('.'))
+    });
+    let has_reduce = stmt
+        .iter()
+        .any(|t| t.tok.is_ident("sum") || t.tok.is_ident("product"));
+    if float_fold || (has_reduce && float_ty) {
+        push(
+            Rule::UnorderedFloatReduction,
+            i,
+            format!(
+                "float reduction over hash-ordered `{name}`: summation order varies run to run, \
+                 so the result is not bit-stable"
+            ),
+        );
+    }
+}
+
+/// The statement around token `i`: back to the previous `;`/`{`/`}`,
+/// forward to the next `;` or block opener at neutral depth.
+fn statement(toks: &[Token], i: usize) -> (usize, usize) {
+    // The backward walk counts `)`/`]` depth so the `;` inside an array
+    // type like `[f32; 4]` does not read as a statement boundary.
+    let mut depth = 0i32;
+    let mut start = i;
+    while start > 0 {
+        match toks[start - 1].tok {
+            Tok::Punct(')' | ']') => depth += 1,
+            Tok::Punct('(' | '[') => depth = (depth - 1).max(0),
+            Tok::Punct(';') if depth == 0 => break,
+            Tok::Punct('{' | '}') => break,
+            _ => {}
+        }
+        start -= 1;
+    }
+    let mut paren = 0i32;
+    let mut end = i;
+    while end < toks.len() {
+        match toks[end].tok {
+            Tok::Punct('(' | '[') => paren += 1,
+            Tok::Punct(')' | ']') => paren -= 1,
+            Tok::Punct(';') if paren <= 0 => break,
+            Tok::Punct('{' | '}') if paren <= 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    (start, end)
+}
+
+/// If the statement is `let [mut] b = …;`, a `b.sort*` within the next
+/// ~100 tokens counts as imposing an order (collect-then-sort idiom).
+fn sorted_soon_after(toks: &[Token], start: usize, end: usize) -> bool {
+    if !toks[start].tok.is_ident("let") {
+        return false;
+    }
+    let mut b = start + 1;
+    if toks.get(b).is_some_and(|t| t.tok.is_ident("mut")) {
+        b += 1;
+    }
+    let Some(bound) = toks.get(b).and_then(|t| t.tok.ident()) else {
+        return false;
+    };
+    let horizon = (end + 100).min(toks.len());
+    for j in end..horizon {
+        if toks[j].tok.is_ident(bound)
+            && toks.get(j + 1).is_some_and(|t| t.tok.is_punct('.'))
+            && toks
+                .get(j + 2)
+                .and_then(|t| t.tok.ident())
+                .is_some_and(|m| m.starts_with("sort"))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------- rule 5
+
+const LOCK_METHODS: [&str; 4] = ["lock", "try_lock", "read", "write"];
+/// Calls that keep returning the guard rather than consuming it.
+const GUARD_PRESERVING: [&str; 3] = ["expect", "unwrap", "unwrap_or_else"];
+const BLOCKING: [&str; 10] = [
+    "send",
+    "recv",
+    "recv_timeout",
+    "send_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "join",
+    "park",
+    "sleep",
+];
+
+fn guard_across_blocking(toks: &[Token], push: &mut Push<'_>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let Some(lock_idx) = lock_call_at(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let (start, end) = statement(toks, lock_idx);
+        // Same-statement: a blocking call anywhere in a statement that
+        // also takes a lock holds the (temporary) guard across it.
+        if let Some(b) = blocking_in(toks, start, end, lock_idx) {
+            push(
+                Rule::GuardAcrossBlocking,
+                b,
+                format!(
+                    "lock guard live across blocking `{}()` in the same statement",
+                    ident_of(toks, b)
+                ),
+            );
+            i = end;
+            continue;
+        }
+        // Binding statement: `let g = m.lock()…;` where the chain after
+        // the lock only re-wraps the guard. Then scan g's scope.
+        if let Some(guard) = bound_guard(toks, start, end, lock_idx) {
+            scan_guard_scope(toks, end, &guard, push);
+        }
+        i = end.max(i + 1);
+    }
+}
+
+fn ident_of(toks: &[Token], i: usize) -> &str {
+    toks[i].tok.ident().unwrap_or("?")
+}
+
+/// If `toks[i..]` starts a `.lock(` / `.read(` / `.write(` call, returns
+/// the index of the method identifier.
+fn lock_call_at(toks: &[Token], i: usize) -> Option<usize> {
+    if !toks[i].tok.is_punct('.') {
+        return None;
+    }
+    let name = toks.get(i + 1)?.tok.ident()?;
+    if LOCK_METHODS.contains(&name) && toks.get(i + 2)?.tok.is_punct('(') {
+        Some(i + 1)
+    } else {
+        None
+    }
+}
+
+/// First blocking call in `[start, end)` other than the lock call itself.
+fn blocking_in(toks: &[Token], start: usize, end: usize, lock_idx: usize) -> Option<usize> {
+    (start..end).find(|&j| {
+        j != lock_idx
+            && toks[j].tok.ident().is_some_and(|s| BLOCKING.contains(&s))
+            && toks.get(j + 1).is_some_and(|t| t.tok.is_punct('('))
+    })
+}
+
+/// For `let [mut] g = <expr with .lock()>;` — returns `g` when the
+/// chain keeps the guard alive for the binding (nothing after the lock
+/// call but guard-preserving re-wraps), i.e. `g` really is a guard.
+fn bound_guard(toks: &[Token], start: usize, end: usize, lock_idx: usize) -> Option<String> {
+    if !toks[start].tok.is_ident("let") {
+        return None;
+    }
+    let mut b = start + 1;
+    if toks.get(b).is_some_and(|t| t.tok.is_ident("mut")) {
+        b += 1;
+    }
+    let name = toks.get(b)?.tok.ident()?.to_string();
+    // `let v = *m.lock();` copies out and drops the temporary guard.
+    if toks.get(b + 1).is_some_and(|t| t.tok.is_punct('='))
+        && toks.get(b + 2).is_some_and(|t| t.tok.is_punct('*'))
+    {
+        return None;
+    }
+    // Walk the chain after the lock call's argument list.
+    let mut k = close_of(toks, lock_idx, end)?;
+    loop {
+        if k + 1 >= end || toks[k + 1].tok.is_punct(';') {
+            return Some(name); // chain ends with the guard
+        }
+        if !toks[k + 1].tok.is_punct('.') {
+            return Some(name); // e.g. trailing `}` — treat as guard
+        }
+        let method = toks.get(k + 2)?.tok.ident()?;
+        if !GUARD_PRESERVING.contains(&method) {
+            return None; // `.len()`, `.clone()`, … — temporary guard
+        }
+        k = close_of(toks, k + 2, end)?;
+    }
+}
+
+/// Index of the `)` closing the call whose name is at `call_idx`
+/// (open paren at `call_idx + 1`).
+fn close_of(toks: &[Token], call_idx: usize, end: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(end).skip(call_idx + 1) {
+        match t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Walks the guard's lexical scope (from its binding statement to the
+/// close of the enclosing block, or an explicit `drop(g)`), flagging
+/// blocking calls made while the guard is live.
+fn scan_guard_scope(toks: &[Token], from: usize, guard: &str, push: &mut Push<'_>) {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return; // enclosing block closed — guard dropped
+                }
+            }
+            Tok::Ident(s)
+                if s == "drop"
+                    && toks.get(j + 1).is_some_and(|t| t.tok.is_punct('('))
+                    && toks.get(j + 2).is_some_and(|t| t.tok.is_ident(guard)) =>
+            {
+                return; // explicit early drop
+            }
+            Tok::Ident(s)
+                if BLOCKING.contains(&s.as_str())
+                    && toks.get(j + 1).is_some_and(|t| t.tok.is_punct('(')) =>
+            {
+                push(
+                    Rule::GuardAcrossBlocking,
+                    j,
+                    format!(
+                        "lock guard `{guard}` held across blocking `{s}()` — the barrier/\
+                         bounded-queue deadlock shape; drop the guard first or annotate the \
+                         protocol that requires it"
+                    ),
+                );
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_spans;
+    use crate::lexer::lex;
+
+    fn findings(src: &str, class: FileClass) -> Vec<(Rule, u32)> {
+        let lexed = lex(src);
+        let spans = test_spans(&lexed);
+        check_file(&lexed, class, &spans)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("bad-annotation"), None, "not suppressible");
+    }
+
+    #[test]
+    fn wallclock_found_in_lib_not_bench() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(
+            findings(src, FileClass::Lib),
+            vec![(Rule::WallclockInLogic, 1)]
+        );
+        assert!(findings(src, FileClass::BenchTarget).is_empty());
+        assert!(findings(src, FileClass::BenchLib).is_empty());
+    }
+
+    #[test]
+    fn systemtime_found_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { let t = std::time::SystemTime::now(); }\n}";
+        assert_eq!(
+            findings(src, FileClass::Lib),
+            vec![(Rule::WallclockInLogic, 3)]
+        );
+    }
+
+    #[test]
+    fn entropy_sources_banned_everywhere() {
+        let src = "fn f() { let r = StdRng::from_entropy(); }";
+        for class in [
+            FileClass::Lib,
+            FileClass::BenchLib,
+            FileClass::BenchTarget,
+            FileClass::TestCode,
+            FileClass::ExampleCode,
+        ] {
+            assert_eq!(
+                findings(src, class),
+                vec![(Rule::EntropyRng, 1)],
+                "{class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_seed_flagged_in_lib_only() {
+        let src = "fn f() { let r = StdRng::seed_from_u64(42); }";
+        assert_eq!(findings(src, FileClass::Lib), vec![(Rule::EntropyRng, 1)]);
+        assert!(findings(src, FileClass::BenchTarget).is_empty());
+        assert!(findings(src, FileClass::TestCode).is_empty());
+        let caller = "fn f(seed: u64) { let r = StdRng::seed_from_u64(seed); }";
+        assert!(findings(caller, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_lib_only_and_not_in_test_mod() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }";
+        assert_eq!(findings(src, FileClass::Lib), vec![(Rule::UnwrapInLib, 1)]);
+        assert!(findings(src, FileClass::TestCode).is_empty());
+        assert!(findings(src, FileClass::ExampleCode).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n fn f(o: Option<u32>) -> u32 { o.unwrap() }\n}";
+        assert!(findings(in_test, FileClass::Lib).is_empty());
+        let not_unwrap = "fn f(o: Option<u32>) -> u32 { o.unwrap_or(0) }";
+        assert!(findings(not_unwrap, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flagged_and_sorted_escapes() {
+        let src = "struct S { m: HashMap<u64, u64> }\nimpl S {\n fn f(&self) -> Vec<u64> { self.m.values().copied().collect() }\n}";
+        assert_eq!(
+            findings(src, FileClass::Lib),
+            vec![(Rule::UnorderedMapIteration, 3)]
+        );
+        let sorted = "struct S { m: HashMap<u64, u64> }\nimpl S {\n fn f(&self) -> Vec<u64> { let mut v: Vec<u64> = self.m.values().copied().collect(); v.sort_unstable(); v }\n}";
+        assert!(findings(sorted, FileClass::Lib).is_empty());
+        let len_only = "struct S { m: HashMap<u64, u64> }\nimpl S {\n fn f(&self) -> usize { self.m.iter().count() }\n}";
+        assert!(findings(len_only, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn array_type_semicolon_does_not_split_the_statement() {
+        // The `;` inside `[f32; 4]` must not hide the `let` from the
+        // collect-then-sort lookahead.
+        let src = "struct S { m: HashMap<u64, [f32; 4]> }\nimpl S {\n fn f(&self) { let mut rows: Vec<(u64, [f32; 4])> = self.m.iter().map(|(&k, &v)| (k, v)).collect(); rows.sort_unstable_by_key(|&(k, _)| k); }\n}";
+        assert!(findings(src, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_map_flagged() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); for (k, v) in &m { use_it(k, v); } }";
+        assert_eq!(
+            findings(src, FileClass::Lib),
+            vec![(Rule::UnorderedMapIteration, 1)]
+        );
+    }
+
+    #[test]
+    fn vec_of_hashsets_is_not_confused_with_the_set() {
+        // `shard_pages: Vec<HashSet<u64>>` — iterating the Vec is ordered.
+        let src = "fn f(shard_pages: Vec<HashSet<u64>>) -> Vec<u64> { shard_pages.iter().map(|p| p.len() as u64).collect() }";
+        assert!(findings(src, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn float_reduction_over_hash_map() {
+        let src = "struct S { m: HashMap<u64, f64> }\nimpl S {\n fn f(&self) -> f64 { self.m.values().sum::<f64>() }\n}";
+        let got = findings(src, FileClass::Lib);
+        assert!(got.contains(&(Rule::UnorderedFloatReduction, 3)), "{got:?}");
+        assert!(got.contains(&(Rule::UnorderedMapIteration, 3)));
+        // Integer sums do not trip the float rule.
+        let int = "struct S { m: HashMap<u64, u64> }\nimpl S {\n fn f(&self) -> u64 { self.m.values().sum::<u64>() }\n}";
+        let got = findings(int, FileClass::Lib);
+        assert!(!got.iter().any(|(r, _)| *r == Rule::UnorderedFloatReduction));
+        // Slice sums are ordered — no findings at all.
+        let slice = "fn f(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }";
+        assert!(findings(slice, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn guard_across_wait_flagged() {
+        let src = "fn f(&self) {\n let mut state = self.state.lock().expect(\"p\");\n while state.x == 0 {\n  state = self.cv.wait(state).expect(\"p\");\n }\n}";
+        let got = findings(src, FileClass::Lib);
+        assert!(got.contains(&(Rule::GuardAcrossBlocking, 4)), "{got:?}");
+    }
+
+    #[test]
+    fn guard_dropped_before_send_is_clean() {
+        let src = "fn f(&self) {\n let g = self.m.lock();\n let v = g.val;\n drop(g);\n self.tx.send(v);\n}";
+        let got: Vec<_> = findings(src, FileClass::Lib)
+            .into_iter()
+            .filter(|(r, _)| *r == Rule::GuardAcrossBlocking)
+            .collect();
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close() {
+        let src = "fn f(&self) {\n { let g = self.m.lock(); g.bump(); }\n self.tx.send(1);\n}";
+        let got: Vec<_> = findings(src, FileClass::Lib)
+            .into_iter()
+            .filter(|(r, _)| *r == Rule::GuardAcrossBlocking)
+            .collect();
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn temporary_guard_copy_is_not_a_binding() {
+        // `let v = *m.lock();` drops the guard at statement end.
+        let src = "fn f(&self) {\n let v = *self.m.lock();\n self.tx.send(v);\n}";
+        let got: Vec<_> = findings(src, FileClass::Lib)
+            .into_iter()
+            .filter(|(r, _)| *r == Rule::GuardAcrossBlocking)
+            .collect();
+        assert!(got.is_empty(), "{got:?}");
+        // But a same-statement send under the guard is flagged.
+        let same = "fn f(&self) { self.tx.send(*self.m.lock()); }";
+        let got = findings(same, FileClass::Lib);
+        assert!(got.iter().any(|(r, _)| *r == Rule::GuardAcrossBlocking));
+    }
+}

@@ -1,0 +1,133 @@
+//! Workspace walking and per-file orchestration.
+//!
+//! The walk is fully deterministic — directory entries are sorted by
+//! name before descent — so the findings list (and therefore the CLI
+//! output and exit code) is identical across runs, which is the least a
+//! determinism linter can do for itself.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::context::{classify, parse_allows, test_spans, Suppressions};
+use crate::lexer::lex;
+use crate::rules::{check_file, Finding, Rule};
+
+/// Directories never descended into. `classify` would skip their files
+/// anyway; pruning here keeps the walk fast and out of build output.
+const SKIP_DIRS: [&str; 4] = ["shims", "target", "fixtures", ".git"];
+
+/// Lints one source file. `rel` is the workspace-relative path used for
+/// classification and reporting. Returns the *surviving* findings:
+/// matches not covered by a valid `sibyl-lint: allow` annotation, plus a
+/// `bad-annotation` finding for every malformed annotation (those are
+/// not suppressible). Findings come back sorted by line, then rule.
+pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
+    let Some(class) = classify(rel) else {
+        return Vec::new();
+    };
+    let rel_str = rel.to_string_lossy().into_owned();
+    let lexed = lex(src);
+    let spans = test_spans(&lexed);
+    let allows = parse_allows(&lexed.comments);
+    let sup = Suppressions::new(&allows, &lexed);
+
+    let mut out: Vec<Finding> = check_file(&lexed, class, &spans)
+        .into_iter()
+        .filter(|f| !sup.covers(f.rule, f.line))
+        .map(|mut f| {
+            f.file = rel_str.clone();
+            f
+        })
+        .collect();
+    for a in &allows {
+        if let Some(err) = &a.error {
+            out.push(Finding {
+                file: rel_str.clone(),
+                line: a.line,
+                rule: Rule::BadAnnotation,
+                message: format!("malformed annotation ({err}); it suppresses nothing"),
+            });
+        }
+    }
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// Scans every `.rs` file under `root` (skipping shims, build output,
+/// lint fixtures and VCS internals) and returns all surviving findings,
+/// sorted by path, line, rule.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        out.extend(lint_source(&rel, &src));
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(out)
+}
+
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                collect_rust_files(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotated_finding_is_suppressed() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n    // sibyl-lint: allow(unwrap-in-lib) -- invariant: checked above\n    o.unwrap()\n}";
+        let got = lint_source(Path::new("crates/core/src/x.rs"), src);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn unannotated_finding_survives_with_path() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }";
+        let got = lint_source(Path::new("crates/core/src/x.rs"), src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].file, "crates/core/src/x.rs");
+        assert_eq!(got[0].rule, Rule::UnwrapInLib);
+    }
+
+    #[test]
+    fn malformed_annotation_is_reported_and_suppresses_nothing() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n    // sibyl-lint: allow(unwrap-in-lib)\n    o.unwrap()\n}";
+        let got = lint_source(Path::new("crates/core/src/x.rs"), src);
+        let rules: Vec<Rule> = got.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&Rule::BadAnnotation), "{got:?}");
+        assert!(rules.contains(&Rule::UnwrapInLib), "{got:?}");
+    }
+
+    #[test]
+    fn skipped_paths_produce_no_findings() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }";
+        assert!(lint_source(Path::new("shims/rand/src/lib.rs"), src).is_empty());
+        assert!(lint_source(Path::new("crates/lint/tests/fixtures/x.rs"), src).is_empty());
+    }
+}

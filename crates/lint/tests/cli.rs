@@ -1,0 +1,105 @@
+//! The `sibyl-lint` binary's contract: exit 0 on a clean tree, exit 1
+//! under `--deny` when findings survive, exit 2 on usage errors — and
+//! the live workspace itself must scan clean, which is the whole point.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sibyl-lint"))
+}
+
+/// A scratch tree under `target/tmp` holding one library source file.
+fn scratch_workspace(tag: &str, source: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("lint-cli-{tag}"));
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("create scratch workspace");
+    std::fs::write(src_dir.join("lib.rs"), source).expect("write scratch source");
+    root
+}
+
+#[test]
+fn live_workspace_scans_clean_under_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = bin()
+        .arg("--deny")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run sibyl-lint");
+    assert!(
+        out.status.success(),
+        "workspace has unsuppressed findings:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("workspace clean"));
+}
+
+#[test]
+fn deny_exits_1_on_findings_and_0_without_deny() {
+    let root = scratch_workspace(
+        "violating",
+        "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n",
+    );
+    let deny = bin()
+        .arg("--deny")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run sibyl-lint");
+    assert_eq!(deny.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&deny.stdout);
+    assert!(stdout.contains("[unwrap-in-lib]"), "{stdout}");
+
+    // Without --deny the same findings are advisory.
+    let warn = bin()
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run sibyl-lint");
+    assert_eq!(warn.status.code(), Some(0));
+}
+
+#[test]
+fn annotated_scratch_tree_is_clean() {
+    let root = scratch_workspace(
+        "annotated",
+        "pub fn f(o: Option<u32>) -> u32 {\n    // sibyl-lint: allow(unwrap-in-lib) -- fixture invariant\n    o.unwrap()\n}\n",
+    );
+    let out = bin()
+        .arg("--deny")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run sibyl-lint");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn usage_and_io_errors_exit_2() {
+    let unknown = bin().arg("--frobnicate").output().expect("run sibyl-lint");
+    assert_eq!(unknown.status.code(), Some(2));
+    let missing_root = bin()
+        .arg("--root")
+        .arg("/nonexistent/sibyl-lint-root")
+        .output()
+        .expect("run sibyl-lint");
+    assert_eq!(missing_root.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_names_all_six() {
+    let out = bin().arg("--list-rules").output().expect("run sibyl-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "wallclock-in-logic",
+        "unordered-map-iteration",
+        "entropy-rng",
+        "unwrap-in-lib",
+        "guard-across-blocking",
+        "unordered-float-reduction",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}

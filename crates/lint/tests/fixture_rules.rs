@@ -1,0 +1,86 @@
+//! Each contract rule, demonstrated end to end on a fixture pair: the
+//! `_bad` fixture is caught, the `_allowed` fixture (same shapes, with
+//! annotations or order-imposing idioms) is silent.
+//!
+//! Fixtures live under `tests/fixtures/`, which the workspace scanner
+//! skips (they contain violations by design); here they are linted
+//! explicitly under a library-crate path.
+
+use std::path::Path;
+
+use sibyl_lint::{lint_source, Rule};
+
+/// Lints one fixture as if it were library code and returns the rules of
+/// its surviving findings.
+fn lint_fixture(name: &str) -> Vec<Rule> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    lint_source(Path::new("crates/fixture/src/lib.rs"), &src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+fn count(rules: &[Rule], rule: Rule) -> usize {
+    rules.iter().filter(|&&r| r == rule).count()
+}
+
+#[test]
+fn wallclock_caught_and_silenced() {
+    let bad = lint_fixture("wallclock_bad.rs");
+    assert_eq!(count(&bad, Rule::WallclockInLogic), 3, "{bad:?}");
+    let allowed = lint_fixture("wallclock_allowed.rs");
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn map_iteration_caught_and_silenced() {
+    let bad = lint_fixture("map_iteration_bad.rs");
+    assert_eq!(count(&bad, Rule::UnorderedMapIteration), 2, "{bad:?}");
+    let allowed = lint_fixture("map_iteration_allowed.rs");
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn entropy_caught_and_silenced() {
+    let bad = lint_fixture("entropy_bad.rs");
+    assert_eq!(count(&bad, Rule::EntropyRng), 2, "{bad:?}");
+    let allowed = lint_fixture("entropy_allowed.rs");
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn unwrap_caught_and_silenced() {
+    let bad = lint_fixture("unwrap_bad.rs");
+    assert_eq!(count(&bad, Rule::UnwrapInLib), 2, "{bad:?}");
+    let allowed = lint_fixture("unwrap_allowed.rs");
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn guard_caught_and_silenced() {
+    let bad = lint_fixture("guard_bad.rs");
+    assert_eq!(count(&bad, Rule::GuardAcrossBlocking), 2, "{bad:?}");
+    let allowed = lint_fixture("guard_allowed.rs");
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn float_reduction_caught_and_silenced() {
+    let bad = lint_fixture("float_reduction_bad.rs");
+    assert_eq!(count(&bad, Rule::UnorderedFloatReduction), 2, "{bad:?}");
+    let allowed = lint_fixture("float_reduction_allowed.rs");
+    assert!(allowed.is_empty(), "{allowed:?}");
+}
+
+#[test]
+fn bad_annotations_reported_and_suppress_nothing() {
+    let got = lint_fixture("bad_annotation.rs");
+    assert_eq!(count(&got, Rule::BadAnnotation), 2, "{got:?}");
+    // The malformed annotations must not have silenced the violations
+    // they sit on.
+    assert_eq!(count(&got, Rule::UnwrapInLib), 2, "{got:?}");
+}

@@ -1,0 +1,12 @@
+// Fixture: malformed annotations. Each is reported as `bad-annotation`
+// and suppresses nothing.
+
+pub fn missing_reason(o: Option<u32>) -> u32 {
+    // sibyl-lint: allow(unwrap-in-lib)
+    o.unwrap()
+}
+
+pub fn unknown_rule(o: Option<u32>) -> u32 {
+    // sibyl-lint: allow(no-such-rule) -- because
+    o.unwrap()
+}

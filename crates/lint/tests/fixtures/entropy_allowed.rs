@@ -1,0 +1,14 @@
+// Fixture: caller-seeded construction passes without annotation; a
+// deliberate fixed seed carries one.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn harness_rng() -> StdRng {
+    // sibyl-lint: allow(entropy-rng) -- fixed harness seed: the table must measure identical weights every run
+    StdRng::seed_from_u64(0x5EC1_0000)
+}

@@ -1,0 +1,12 @@
+// Fixture: entropy-rng positives. Linted as library code.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn fresh_rng() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn hidden_seed_rng() -> StdRng {
+    StdRng::seed_from_u64(0xDEAD_BEEF)
+}

@@ -1,0 +1,21 @@
+// Fixture: float reductions silenced — by sorting the stream first (the
+// collect-then-sort escape) or by an annotated justification.
+
+use std::collections::HashMap;
+
+pub struct Acc {
+    weights: HashMap<u64, f32>,
+}
+
+impl Acc {
+    pub fn total_sorted(&self) -> f32 {
+        let mut ws: Vec<(u64, f32)> = self.weights.iter().map(|(&k, &v)| (k, v)).collect();
+        ws.sort_unstable_by_key(|&(k, _)| k);
+        ws.iter().map(|&(_, w)| w).sum::<f32>()
+    }
+
+    pub fn total(&self) -> f32 {
+        // sibyl-lint: allow(unordered-map-iteration, unordered-float-reduction) -- diagnostic gauge only: never compared bit-for-bit or fed back into training
+        self.weights.values().sum::<f32>()
+    }
+}

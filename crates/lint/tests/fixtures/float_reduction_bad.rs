@@ -1,0 +1,17 @@
+// Fixture: unordered-float-reduction positives. Linted as library code.
+
+use std::collections::HashMap;
+
+pub struct Acc {
+    weights: HashMap<u64, f32>,
+}
+
+impl Acc {
+    pub fn total(&self) -> f32 {
+        self.weights.values().sum::<f32>()
+    }
+
+    pub fn scaled_total(&self) -> f64 {
+        self.weights.values().fold(0.0, |acc, &w| acc + w as f64)
+    }
+}

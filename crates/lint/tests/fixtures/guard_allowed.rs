@@ -1,0 +1,19 @@
+// Fixture: guard-across-blocking silenced — by dropping the guard
+// before blocking (no finding) or by an annotated condvar protocol.
+
+use std::sync::{Condvar, Mutex};
+
+pub fn publish(m: &Mutex<u64>, tx: &crossbeam::channel::Sender<u64>) {
+    let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+    let value = *guard;
+    drop(guard);
+    let _ = tx.send(value);
+}
+
+pub fn barrier(m: &Mutex<u64>, cv: &Condvar) {
+    let mut gen = m.lock().unwrap_or_else(|p| p.into_inner());
+    while *gen == 0 {
+        // sibyl-lint: allow(guard-across-blocking) -- condvar protocol: wait() releases the guard while blocked
+        gen = cv.wait(gen).unwrap_or_else(|p| p.into_inner());
+    }
+}

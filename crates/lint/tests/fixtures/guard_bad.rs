@@ -1,0 +1,12 @@
+// Fixture: guard-across-blocking positives. Linted as library code.
+
+use std::sync::Mutex;
+
+pub fn publish(m: &Mutex<u64>, tx: &crossbeam::channel::Sender<u64>) {
+    let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = tx.send(*guard);
+}
+
+pub fn inline_publish(m: &Mutex<u64>, tx: &crossbeam::channel::Sender<u64>) {
+    let _ = tx.send(*m.lock().unwrap_or_else(|p| p.into_inner()));
+}

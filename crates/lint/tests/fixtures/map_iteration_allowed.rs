@@ -1,0 +1,28 @@
+// Fixture: hash iteration silenced — by imposing an order (no
+// annotation needed) or by an annotated justification.
+
+use std::collections::HashMap;
+
+pub struct Tracker {
+    counts: HashMap<u64, u64>,
+}
+
+impl Tracker {
+    // The collect-then-sort idiom needs no annotation: the lint sees the
+    // binding sorted immediately after.
+    pub fn dump_sorted(&self) -> Vec<(u64, u64)> {
+        let mut rows: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    // Order-insensitive folds escape without annotation too.
+    pub fn touched(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn total(&self) -> u64 {
+        // sibyl-lint: allow(unordered-map-iteration) -- u64 sum: integer addition is commutative
+        self.counts.values().sum::<u64>()
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: unordered-map-iteration positives. Linted as library code.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    counts: HashMap<u64, u64>,
+}
+
+impl Tracker {
+    pub fn dump(&self) -> Vec<(u64, u64)> {
+        self.counts.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}
+
+pub fn first_page(pages: &HashSet<u64>) -> Option<u64> {
+    for p in pages.iter() {
+        return Some(*p);
+    }
+    None
+}

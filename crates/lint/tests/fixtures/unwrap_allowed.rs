@@ -1,0 +1,20 @@
+// Fixture: unwrap silenced — by an annotated invariant, by a non-panicking
+// combinator (no finding to begin with), or by living in test code.
+
+pub fn head(xs: &[u32]) -> u32 {
+    // sibyl-lint: allow(unwrap-in-lib) -- invariant: caller is the splitter, which never yields empty chunks
+    *xs.first().unwrap()
+}
+
+pub fn head_or_zero(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: unwrap-in-lib positives. Linted as library code.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller promised a number")
+}

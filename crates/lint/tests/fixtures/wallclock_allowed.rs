@@ -1,0 +1,17 @@
+// Fixture: the same wall-clock reads, silenced by annotations.
+
+pub fn elapsed_budget() -> std::time::Duration {
+    // sibyl-lint: allow(wallclock-in-logic) -- telemetry span: reported, never fed into decisions
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+pub fn epoch_seconds() -> u64 {
+    // sibyl-lint: allow(wallclock-in-logic) -- log timestamping only
+    let now = std::time::SystemTime::now();
+    // sibyl-lint: allow(wallclock-in-logic) -- log timestamping only
+    match now.duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

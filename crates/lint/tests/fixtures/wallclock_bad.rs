@@ -1,0 +1,14 @@
+// Fixture: wallclock-in-logic positives. Linted as library code.
+
+pub fn elapsed_budget() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+pub fn epoch_seconds() -> u64 {
+    let now = std::time::SystemTime::now();
+    match now.duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

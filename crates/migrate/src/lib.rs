@@ -52,6 +52,7 @@
 //! assert_eq!(mgr.residency(42), Some(DeviceId(0)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -104,6 +104,7 @@ impl Migrator {
     /// Panics if the configuration is invalid for its policy (engines
     /// should surface [`MigrateConfig::validate`] as an error first).
     pub fn new(cfg: MigrateConfig) -> Option<Migrator> {
+        // sibyl-lint: allow(unwrap-in-lib) -- documented panic: engines must surface validate() as an error before constructing
         cfg.validate().expect("invalid migration configuration");
         let policy: Box<dyn MigrationPolicy> = match cfg.policy {
             MigratePolicyKind::None => return None,

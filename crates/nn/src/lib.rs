@@ -46,6 +46,7 @@
 //! assert!((y[0] - 1.0).abs() < 0.05 && y[1].abs() < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -67,6 +67,7 @@ impl Mlp {
     pub fn out_dim(&self) -> usize {
         self.layers
             .last()
+            // sibyl-lint: allow(unwrap-in-lib) -- invariant: Mlp::new rejects empty layer stacks
             .expect("Mlp has at least one layer")
             .out_dim()
     }

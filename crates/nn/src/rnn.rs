@@ -112,6 +112,7 @@ impl Rnn {
     /// Panics if any step's input length differs from `in_dim`.
     pub fn forward(&self, xs: &[Vec<f32>]) -> Vec<f32> {
         let (hs, _zs) = self.run(xs);
+        // sibyl-lint: allow(unwrap-in-lib) -- invariant: run() always yields the initial hidden state h_0
         let h_last = hs.last().expect("run always yields h_0");
         let mut y = Vec::new();
         linalg::matvec_bias(
@@ -147,6 +148,7 @@ impl Rnn {
             linalg::matvec_bias(
                 &self.whh,
                 &zero_bias,
+                // sibyl-lint: allow(unwrap-in-lib) -- invariant: hs starts with h_0 and only grows
                 hs.last().expect("hs non-empty"),
                 self.hidden_dim,
                 self.hidden_dim,
@@ -177,6 +179,7 @@ impl Rnn {
         );
         assert!(!xs.is_empty(), "Rnn::train_step: empty sequence");
         let (hs, _zs) = self.run(xs);
+        // sibyl-lint: allow(unwrap-in-lib) -- invariant: run() always yields the initial hidden state h_0
         let h_last = hs.last().expect("hs non-empty");
         let mut y = Vec::new();
         linalg::matvec_bias(
@@ -242,6 +245,7 @@ impl Rnn {
     ///
     /// Panics if any step's input length differs from `in_dim`.
     pub fn classify(&self, xs: &[Vec<f32>]) -> usize {
+        // sibyl-lint: allow(unwrap-in-lib) -- invariant: out_dim > 0 is enforced at construction
         crate::argmax(&self.forward(xs)).expect("out_dim > 0")
     }
 }

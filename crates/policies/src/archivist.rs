@@ -121,12 +121,20 @@ impl Archivist {
         if !counts.is_empty() {
             counts.sort_unstable();
             let median = counts[counts.len() / 2].max(2);
-            let mut examples: Vec<Example> = self
+            // Collect in LPN order: `epoch_features` is a HashMap, and
+            // training in its run-dependent iteration order would make the
+            // classifier weights differ between identical runs.
+            let mut rows: Vec<(u64, [f32; 4])> = self
                 .epoch_features
                 .iter()
-                .map(|(lpn, &features)| Example {
+                .map(|(&lpn, &features)| (lpn, features))
+                .collect();
+            rows.sort_unstable_by_key(|&(lpn, _)| lpn);
+            let mut examples: Vec<Example> = rows
+                .iter()
+                .map(|&(lpn, features)| Example {
                     features,
-                    hot: self.epoch_counts.get(lpn).copied().unwrap_or(0) >= median,
+                    hot: self.epoch_counts.get(&lpn).copied().unwrap_or(0) >= median,
                 })
                 .collect();
             let mut opt = Sgd::new(self.config.learning_rate);

@@ -70,6 +70,7 @@ impl Hps {
 
     fn roll_epoch(&mut self) {
         self.hot_set = self
+            // sibyl-lint: allow(unordered-map-iteration) -- drains into a HashSet: membership is order-insensitive, no ordered output is produced
             .epoch_counts
             .drain()
             .filter(|&(_, c)| c >= self.config.hot_threshold)

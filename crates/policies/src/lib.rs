@@ -22,6 +22,7 @@
 //! None of these baselines consume system feedback (latency/evictions);
 //! that gap is exactly what the paper's RL formulation closes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -104,6 +104,7 @@ impl PlacementPolicy for Oracle {
         let future = self
             .future
             .as_ref()
+            // sibyl-lint: allow(unwrap-in-lib) -- documented precondition: prepare() must run before place(); policy-harness bug otherwise
             .expect("Oracle::place called before prepare()");
         let next = future.next_use_after(req.lpn, ctx.seq);
         if next == u64::MAX {

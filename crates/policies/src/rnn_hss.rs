@@ -173,7 +173,15 @@ impl RnnHss {
         let k = self.config.history_windows;
         let label_window = self.current_window().saturating_sub(1);
         let mut examples: Vec<(Vec<Vec<f32>>, bool)> = Vec::new();
-        for hist in self.histories.values() {
+        // Build examples in LPN order: `histories` is a HashMap, and its
+        // iteration order differs across runs, which would feed the RNN a
+        // run-dependent example sequence and break bit-reproducibility.
+        let mut lpns: Vec<u64> = self.histories.keys().copied().collect();
+        lpns.sort_unstable();
+        for lpn in lpns {
+            let Some(hist) = self.histories.get(&lpn) else {
+                continue;
+            };
             if hist.entries.is_empty() {
                 continue;
             }

@@ -43,6 +43,13 @@ pub enum ServeError {
         /// Index of the shard whose worker died.
         shard: usize,
     },
+    /// The OS refused to spawn a worker thread for this shard, so the
+    /// engine could not be brought up. Like [`ServeError::ShardDown`],
+    /// this is surfaced as a typed error rather than a router panic.
+    SpawnFailed {
+        /// Index of the shard whose worker could not be spawned.
+        shard: usize,
+    },
     /// A cooperative mode was combined with
     /// [`TrainingMode::Background`](sibyl_core::TrainingMode): weight
     /// export/import and replay absorption need the learner on the shard
@@ -73,6 +80,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Migrate(e) => write!(f, "ServeConfig: {e}"),
             ServeError::ShardDown { shard } => {
                 write!(f, "worker shard {shard} died before the trace was served")
+            }
+            ServeError::SpawnFailed { shard } => {
+                write!(f, "could not spawn the worker thread for shard {shard}")
             }
             ServeError::CoopRequiresSynchronousTraining => {
                 write!(
@@ -177,14 +187,15 @@ pub fn shard_of(lpn: u64, shards: usize) -> usize {
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::EmptyTrace`] for an empty trace, or the
-/// configuration's first violated constraint
-/// (see [`ServeConfig::validate`]).
+/// Returns [`ServeError::EmptyTrace`] for an empty trace, the
+/// configuration's first violated constraint (see
+/// [`ServeConfig::validate`]), or [`ServeError::SpawnFailed`] when the
+/// OS refuses a worker thread.
 ///
 /// # Panics
 ///
 /// Panics if the embedded [`SibylConfig`](sibyl_core::SibylConfig) is
-/// invalid or a worker thread cannot be spawned.
+/// invalid.
 pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, ServeError> {
     config.validate()?;
     if trace.is_empty() {
@@ -234,11 +245,23 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
             coop: coordinator.clone(),
             migrate,
         };
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("sibyl-shard-{shard}"))
-            .spawn(move || run_shard(task))
-            .expect("failed to spawn shard worker");
-        workers.push(handle);
+            .spawn(move || run_shard(task));
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(_) => {
+                // Unblock the shards already spawned — with their senders
+                // gone they drain an empty queue, leave any coordinator,
+                // and exit — then surface a typed error instead of
+                // panicking the router.
+                drop(senders);
+                for worker in workers {
+                    let _ = worker.join();
+                }
+                return Err(ServeError::SpawnFailed { shard });
+            }
+        }
     }
 
     // Route. Bounded channels (independent runs) give backpressure: the

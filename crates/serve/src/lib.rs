@@ -71,6 +71,7 @@
 //! (normalized latency/IOPS per shard), use `sibyl_sim::ServeExperiment`,
 //! which wraps this engine.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -35,40 +35,40 @@ pub struct CoopReport {
 }
 
 impl CoopReport {
-    /// The outcome of one mode.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the mode was not part of the sweep (cannot happen for
-    /// reports built by [`CoopExperiment::run_all`]).
-    pub fn outcome(&self, mode: CoopMode) -> &CoopOutcome {
-        self.outcomes
-            .iter()
-            .find(|o| o.mode == mode)
-            .expect("mode missing from cooperation report")
+    /// The outcome of one mode, or `None` if the mode was not part of
+    /// the sweep (cannot happen for reports built by
+    /// [`CoopExperiment::run_all`], which covers [`CoopMode::ALL`]).
+    pub fn outcome(&self, mode: CoopMode) -> Option<&CoopOutcome> {
+        self.outcomes.iter().find(|o| o.mode == mode)
     }
 
     /// A mode's aggregate average latency normalized to the
     /// [`CoopMode::Independent`] baseline — below 1.0 means cooperation
-    /// served the same workload faster.
+    /// served the same workload faster. `0.0` when either the mode or
+    /// the baseline is absent from the sweep (or the baseline latency is
+    /// degenerate).
     pub fn normalized_latency(&self, mode: CoopMode) -> f64 {
-        let base = self.outcome(CoopMode::Independent).aggregate.avg_latency_us;
-        if base <= 0.0 {
+        let (Some(base), Some(run)) = (self.outcome(CoopMode::Independent), self.outcome(mode))
+        else {
+            return 0.0;
+        };
+        if base.aggregate.avg_latency_us <= 0.0 {
             0.0
         } else {
-            self.outcome(mode).aggregate.avg_latency_us / base
+            run.aggregate.avg_latency_us / base.aggregate.avg_latency_us
         }
     }
 
     /// A mode's aggregate fast-placement fraction minus the baseline's —
     /// above 0.0 means cooperation kept more of the working set fast
-    /// (the hit-rate gap the Harmonia comparison cares about).
+    /// (the hit-rate gap the Harmonia comparison cares about). `0.0`
+    /// when either side is absent from the sweep.
     pub fn hit_rate_gain(&self, mode: CoopMode) -> f64 {
-        self.outcome(mode).aggregate.fast_placement_fraction
-            - self
-                .outcome(CoopMode::Independent)
-                .aggregate
-                .fast_placement_fraction
+        let (Some(base), Some(run)) = (self.outcome(CoopMode::Independent), self.outcome(mode))
+        else {
+            return 0.0;
+        };
+        run.aggregate.fast_placement_fraction - base.aggregate.fast_placement_fraction
     }
 
     /// The cooperative mode with the lowest aggregate latency.

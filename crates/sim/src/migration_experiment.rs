@@ -37,38 +37,37 @@ pub struct MigrationReport {
 }
 
 impl MigrationReport {
-    /// The run of one policy.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the policy was not part of the sweep (cannot happen for
-    /// reports built by [`MigrationExperiment::run_all`]).
-    pub fn run(&self, policy: MigratePolicyKind) -> &MigrationRun {
-        self.runs
-            .iter()
-            .find(|r| r.policy == policy)
-            .expect("policy missing from migration report")
+    /// The run of one policy, or `None` if the policy was not part of
+    /// the sweep (cannot happen for reports built by
+    /// [`MigrationExperiment::run_all`], which covers
+    /// [`MigratePolicyKind::ALL`]).
+    pub fn run(&self, policy: MigratePolicyKind) -> Option<&MigrationRun> {
+        self.runs.iter().find(|r| r.policy == policy)
     }
 
     /// A policy's aggregate average latency normalized to the
     /// [`MigratePolicyKind::None`] baseline — below 1.0 means background
     /// migration served the same workload faster than placement alone.
+    /// `0.0` when either the policy or the baseline is absent from the
+    /// sweep (or the baseline latency is degenerate).
     pub fn normalized_latency(&self, policy: MigratePolicyKind) -> f64 {
-        let base = self.run(MigratePolicyKind::None).aggregate.avg_latency_us;
-        if base <= 0.0 {
+        let (Some(base), Some(run)) = (self.run(MigratePolicyKind::None), self.run(policy)) else {
+            return 0.0;
+        };
+        if base.aggregate.avg_latency_us <= 0.0 {
             0.0
         } else {
-            self.run(policy).aggregate.avg_latency_us / base
+            run.aggregate.avg_latency_us / base.aggregate.avg_latency_us
         }
     }
 
     /// A policy's aggregate fast-placement fraction minus the baseline's.
+    /// `0.0` when either side is absent from the sweep.
     pub fn hit_rate_gain(&self, policy: MigratePolicyKind) -> f64 {
-        self.run(policy).aggregate.fast_placement_fraction
-            - self
-                .run(MigratePolicyKind::None)
-                .aggregate
-                .fast_placement_fraction
+        let (Some(base), Some(run)) = (self.run(MigratePolicyKind::None), self.run(policy)) else {
+            return 0.0;
+        };
+        run.aggregate.fast_placement_fraction - base.aggregate.fast_placement_fraction
     }
 
     /// The active policy with the lowest aggregate latency.

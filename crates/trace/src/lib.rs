@@ -30,6 +30,7 @@
 //! assert!(st.write_fraction < 0.10);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -70,6 +70,7 @@ impl TraceStats {
             shapes.insert((r.lpn, r.size_pages, r.op.is_write()), ());
         }
         let unique_pages = page_counts.len() as u64;
+        // sibyl-lint: allow(unordered-map-iteration) -- u64 sum over values: integer addition is commutative, order cannot matter
         let total_page_accesses: u64 = page_counts.values().sum();
         TraceStats {
             name: trace.name().to_string(),

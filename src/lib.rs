@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 pub use sibyl_coop as coop;
 pub use sibyl_core as core;
 pub use sibyl_hss as hss;
