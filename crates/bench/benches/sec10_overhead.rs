@@ -110,6 +110,57 @@ fn training_step_table() {
     }
 }
 
+/// The decide-path kernel table: measured ns/MAC through the retained
+/// scalar references (the pre-tiling "before"), the tiled f32 kernels
+/// (the autovectorized "after"), and the f16 fast path (binary16 weight
+/// storage, f32 compute), next to the deterministic modeled per-request
+/// decide cost. The scalar→tiled delta is the §10 win this PR claims;
+/// the tiled ≤ scalar pin is asserted by the bench-crate regression test
+/// in release builds.
+fn inference_kernel_table() {
+    const NS_PER_MAC: f64 = 20.0;
+    const BATCHES: [usize; 4] = [1, 8, 16, 32];
+    println!("--- §10.1 decide-path kernels (C51 net, {NS_PER_MAC} ns/MAC model) ---");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>14}",
+        "batch", "model/req (µs)", "scalar ns/MAC", "tiled ns/MAC", "f16 ns/MAC"
+    );
+    let rows = sibyl_bench::infer_kernel_rows(&BATCHES, NS_PER_MAC);
+    for row in &rows {
+        println!(
+            "{:>6} {:>16.3} {:>16.3} {:>16.3} {:>14.3}",
+            row.batch,
+            row.modeled_per_req_us,
+            row.scalar_ns_per_mac,
+            row.tiled_ns_per_mac,
+            row.f16_ns_per_mac
+        );
+    }
+
+    // Calibrate the ROADMAP's two-term rider from the tiled measurements:
+    // total decide µs per call = setup + per_row · batch. The fit itself
+    // is exact least squares (deterministic given the measured points).
+    const MACS: f64 = 1380.0;
+    let points: Vec<(usize, f64)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.batch,
+                r.tiled_ns_per_mac * MACS * r.batch as f64 / 1_000.0,
+            )
+        })
+        .collect();
+    let fit = sibyl_bench::calibrate_two_term(&points);
+    println!(
+        "two-term decide model (tiled, measured): {:.3} µs setup + {:.4} µs/row",
+        fit.setup_us, fit.per_row_us
+    );
+    println!(
+        "  equivalent single-rate at batch 32: {:.2} ns/MAC (model uses {NS_PER_MAC})",
+        fit.step_us(32) * 1_000.0 / (MACS * 32.0)
+    );
+}
+
 fn buffer_benchmark() {
     let mut buf = ExperienceBuffer::new(1000);
     let mut i = 0u32;
@@ -147,6 +198,7 @@ fn print_storage_accounting() {
 fn main() {
     print_storage_accounting();
     inference_benchmark();
+    inference_kernel_table();
     training_benchmark();
     training_step_table();
     buffer_benchmark();

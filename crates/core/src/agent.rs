@@ -15,7 +15,7 @@ use sibyl_nn::Mlp;
 use sibyl_trace::IoRequest;
 
 use crate::buffer::Experience;
-use crate::config::{SibylConfig, TrainingMode};
+use crate::config::{QuantMode, SibylConfig, TrainingMode};
 use crate::features::StateEncoder;
 use crate::learner::{Learner, ValueHead};
 use crate::reward::RewardShaper;
@@ -202,7 +202,7 @@ impl SibylAgent {
             self.config.clamp_eviction_reward,
             self.config.v_min as f64,
         );
-        let (engine, inference_net) = match self.config.training_mode {
+        let (engine, mut inference_net) = match self.config.training_mode {
             TrainingMode::Synchronous => {
                 let learner = Learner::new(&self.config, n_actions, obs_len);
                 let net = learner.weights_snapshot();
@@ -214,6 +214,12 @@ impl SibylAgent {
                 (Engine::Background(trainer), net)
             }
         };
+        if self.config.quant_mode == QuantMode::F16 {
+            // Shadow buffers stay in sync automatically: every weight
+            // adoption below goes through Mlp::copy_weights_from or
+            // Mlp::set_flat_params, both of which re-encode them.
+            inference_net.enable_f16();
+        }
         self.runtime = Some(Runtime {
             encoder,
             head,
@@ -348,7 +354,13 @@ impl SibylAgent {
             for &i in &greedy {
                 flat.extend_from_slice(&observations[i]);
             }
-            let logits = rt.inference_net.infer_batch(&flat, greedy.len());
+            // The only consumer of the quantized fast path: greedy batched
+            // decisions. Exploration, the sequential `place` path, and all
+            // training stay f32 regardless of the mode.
+            let logits = match self.config.quant_mode {
+                QuantMode::Off => rt.inference_net.infer_batch(&flat, greedy.len()),
+                QuantMode::F16 => rt.inference_net.infer_batch_f16(&flat, greedy.len()),
+            };
             let out_dim = rt.inference_net.out_dim();
             for (k, &i) in greedy.iter().enumerate() {
                 actions[i] = rt.head.best_action(&logits[k * out_dim..(k + 1) * out_dim]);

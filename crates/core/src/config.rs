@@ -70,6 +70,30 @@ pub enum RewardKind {
     EvictionOnly,
 }
 
+/// Numeric precision of the batched inference (decide) path.
+///
+/// The paper stores its weights in 16 bits to reach the §10.2 footprint;
+/// this knob makes that storage real on the hot path. Training always
+/// stays f32 and bit-pinned — quantization only ever touches the
+/// inference network's *weight storage* (compute remains f32 on decoded
+/// values), and only the batched [`place_batch`] path reads it; the
+/// sequential [`place`] path and all learner state are untouched.
+///
+/// [`place_batch`]: crate::SibylAgent::place_batch
+/// [`place`]: sibyl_hss::PlacementPolicy::place
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum QuantMode {
+    /// Full f32 inference — bit-identical to the pre-quantization
+    /// behavior (the default).
+    #[default]
+    Off,
+    /// Binary16 weight storage for the inference network: `place_batch`
+    /// decodes f16 shadow weights per batch and computes in f32. The
+    /// serving golden test pins that this changes zero placement
+    /// decisions on the reference trace.
+    F16,
+}
+
 /// Complete configuration of a Sibyl agent. Defaults are the paper's
 /// tuned hyper-parameters (Table 2).
 ///
@@ -143,6 +167,8 @@ pub struct SibylConfig {
     pub training_mode: TrainingMode,
     /// Reward structure (§11 ablation).
     pub reward_kind: RewardKind,
+    /// Precision of the batched decide path (f16 weight storage opt-in).
+    pub quant_mode: QuantMode,
     /// RNG seed for initialization, exploration, and replay sampling.
     pub seed: u64,
 }
@@ -170,6 +196,7 @@ impl Default for SibylConfig {
             optimizer: OptimizerKind::Adam,
             training_mode: TrainingMode::Synchronous,
             reward_kind: RewardKind::RequestLatency,
+            quant_mode: QuantMode::Off,
             seed: 0x51BB_1AA7,
         }
     }

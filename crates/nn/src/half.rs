@@ -3,8 +3,11 @@
 //! The paper stores network weights and rewards in half precision to reach
 //! its 124.4 KiB total overhead (§10.2: 780 16-bit weights ⇒ 12.2 KiB per
 //! network ... sic, the paper rounds generously; we reproduce the same
-//! accounting). Computation stays in `f32`; these helpers quantize values
-//! through binary16 and measure the storage footprint.
+//! accounting). Computation stays in `f32`: these helpers quantize values
+//! through binary16, encode/decode real 16-bit storage buffers
+//! ([`quantize_to_bits`]/[`dequantize_bits`] back the opt-in f16 inference
+//! fast path in [`Dense`](crate::Dense)), and measure the storage
+//! footprint.
 
 /// Converts an `f32` to its IEEE 754 binary16 bit pattern
 /// (round-to-nearest-even), handling subnormals, infinities, and NaN.
@@ -78,15 +81,18 @@ pub fn f16_bits_to_f32(bits: u16) -> f32 {
         if frac == 0 {
             sign // signed zero
         } else {
-            // Subnormal: normalize.
-            let mut e = -1i32;
+            // Subnormal (value = frac · 2⁻²⁴): normalize. After shifting
+            // the leading 1 up to bit 10 in k steps the value is
+            // (1 + f/1024) · 2^(−14−k), so the biased f32 exponent is
+            // 127 − 14 + e with e = −k.
+            let mut e = 0i32;
             let mut f = frac;
             while f & 0x0400 == 0 {
                 f <<= 1;
                 e -= 1;
             }
             let f = f & 0x03FF;
-            let exp32 = (127 - 15 + e + 1) as u32;
+            let exp32 = (127 - 14 + e) as u32;
             sign | (exp32 << 23) | (f << 13)
         }
     } else if exp == 0x1F {
@@ -112,6 +118,30 @@ pub fn quantize(x: f32) -> f32 {
 pub fn quantize_slice(xs: &mut [f32]) {
     for x in xs {
         *x = quantize(*x);
+    }
+}
+
+/// Encodes a slice of `f32` values into binary16 bit patterns, refilling
+/// `out` (cleared first). This is the storage direction of the f16
+/// inference fast path: `Dense` keeps its shadow weight buffers as
+/// `Vec<u16>` produced by this function.
+pub fn quantize_to_bits(xs: &[f32], out: &mut Vec<u16>) {
+    out.clear();
+    out.reserve(xs.len());
+    for &x in xs {
+        out.push(f32_to_f16_bits(x));
+    }
+}
+
+/// Decodes a slice of binary16 bit patterns back into `f32`, refilling
+/// `out` (cleared first). The inference fast path decodes a layer's shadow
+/// buffers once per batched call, then runs the f32 tiled kernels on the
+/// decoded values — compute stays f32, only storage is 16-bit.
+pub fn dequantize_bits(bits: &[u16], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(bits.len());
+    for &b in bits {
+        out.push(f16_bits_to_f32(b));
     }
 }
 

@@ -1,9 +1,156 @@
 //! Small dense linear-algebra helpers shared by the layer implementations.
 //!
-//! The networks in this workspace are tiny (hundreds of weights), so the
-//! kernels below favour clarity over blocking/SIMD tricks; they are still
-//! easily fast enough to meet the paper's inference budget (§10.1 counts
-//! 780 multiply-accumulates per decision).
+//! The batched kernels (`matmul_bias`, `matmul_transpose`,
+//! `matmul_at_b_acc`, `col_sum_acc`) are tiled so their inner loops are
+//! bounds-check-free and rustc autovectorizes them, under one hard
+//! constraint: every output element's floating-point accumulation chain
+//! runs in *exactly* the order of the retained [`scalar`] references.
+//! f32 addition is not associative, so a kernel may never vectorize
+//! *within* one dot product's chain — instead the tiled kernels
+//! vectorize *across* independent outputs (one SIMD lane per batch
+//! sample), which reorders nothing. The `kernel_parity` property suite
+//! pins bit-for-bit equality against [`scalar`] across random shapes,
+//! including every tile-remainder size.
+
+/// Batch samples processed per register tile by [`matmul_bias`]: one
+/// output accumulator lane per sample, sized to a 256-bit f32 vector.
+pub const BATCH_TILE: usize = 8;
+
+/// Weight/gradient rows processed per tile by [`matmul_at_b_acc`], so
+/// each streamed input row is reused across several gradient rows.
+pub const ROW_TILE: usize = 4;
+
+/// The pre-tiling scalar reference kernels, retained verbatim.
+///
+/// These are the semantics the tiled kernels must reproduce bit for bit
+/// — kept as always-compiled public API (not `cfg(test)`) because the
+/// `kernel_parity` integration suite compares against them from outside
+/// the crate, and `sec10_overhead` measures them at runtime for its
+/// before/after ns/MAC columns.
+pub mod scalar {
+    /// Reference `out = X·Wᵀ + b`: one [`super::dot`] per output element,
+    /// r-outer / s-inner (the pre-tiling [`super::matmul_bias`] body).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, exactly like the tiled kernel.
+    pub fn matmul_bias(
+        w: &[f32],
+        b: &[f32],
+        xs: &[f32],
+        rows: usize,
+        cols: usize,
+        batch: usize,
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(w.len(), rows * cols, "matmul_bias: weight shape mismatch");
+        assert_eq!(xs.len(), batch * cols, "matmul_bias: input shape mismatch");
+        assert_eq!(b.len(), rows, "matmul_bias: bias length mismatch");
+        out.clear();
+        out.resize(batch * rows, 0.0);
+        for r in 0..rows {
+            let row = &w[r * cols..(r + 1) * cols];
+            let br = b[r];
+            for s in 0..batch {
+                let x = &xs[s * cols..(s + 1) * cols];
+                out[s * rows + r] = super::dot(row, x) + br;
+            }
+        }
+    }
+
+    /// Reference `out = D·W`: r-outer / s-middle elementwise accumulation
+    /// (the pre-tiling [`super::matmul_transpose`] body).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, exactly like the tiled kernel.
+    pub fn matmul_transpose(
+        w: &[f32],
+        d: &[f32],
+        rows: usize,
+        cols: usize,
+        batch: usize,
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(
+            w.len(),
+            rows * cols,
+            "matmul_transpose: weight shape mismatch"
+        );
+        assert_eq!(
+            d.len(),
+            batch * rows,
+            "matmul_transpose: delta shape mismatch"
+        );
+        out.clear();
+        out.resize(batch * cols, 0.0);
+        for r in 0..rows {
+            let row = &w[r * cols..(r + 1) * cols];
+            for s in 0..batch {
+                let dr = d[s * rows + r];
+                let orow = &mut out[s * cols..(s + 1) * cols];
+                for (o, &wv) in orow.iter_mut().zip(row) {
+                    *o += wv * dr;
+                }
+            }
+        }
+    }
+
+    /// Reference `dw += Dᵀ·X`: r-outer / s-middle with the gradient row
+    /// hoisted (the pre-tiling [`super::matmul_at_b_acc`] body).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, exactly like the tiled kernel.
+    pub fn matmul_at_b_acc(
+        dw: &mut [f32],
+        d: &[f32],
+        xs: &[f32],
+        rows: usize,
+        cols: usize,
+        batch: usize,
+    ) {
+        assert_eq!(
+            dw.len(),
+            rows * cols,
+            "matmul_at_b_acc: gradient shape mismatch"
+        );
+        assert_eq!(
+            d.len(),
+            batch * rows,
+            "matmul_at_b_acc: delta shape mismatch"
+        );
+        assert_eq!(
+            xs.len(),
+            batch * cols,
+            "matmul_at_b_acc: input shape mismatch"
+        );
+        for r in 0..rows {
+            let grow = &mut dw[r * cols..(r + 1) * cols];
+            for s in 0..batch {
+                let dr = d[s * rows + r];
+                let x = &xs[s * cols..(s + 1) * cols];
+                for (g, &xv) in grow.iter_mut().zip(x) {
+                    *g += dr * xv;
+                }
+            }
+        }
+    }
+
+    /// Reference batched bias gradient: one [`super::add_assign`] per
+    /// sample (the pre-tiling [`super::col_sum_acc`] body).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, exactly like the tiled kernel.
+    pub fn col_sum_acc(db: &mut [f32], d: &[f32], batch: usize) {
+        let rows = db.len();
+        assert_eq!(d.len(), batch * rows, "col_sum_acc: delta shape mismatch");
+        for s in 0..batch {
+            super::add_assign(db, &d[s * rows..(s + 1) * rows]);
+        }
+    }
+}
 
 /// Dot product of two equal-length slices.
 ///
@@ -41,11 +188,17 @@ pub fn matvec_bias(w: &[f32], b: &[f32], x: &[f32], rows: usize, cols: usize, ou
 /// `(batch × rows)`, so each output row is laid out exactly like a
 /// [`matvec_bias`] result for the corresponding input.
 ///
-/// The loop nest is ordered so one weight row is streamed across the whole
-/// batch before moving to the next (the batched-inference amortization the
-/// serving engine relies on), while each individual dot product accumulates
-/// in the same order as [`matvec_bias`] — outputs are bit-identical to the
-/// per-request path, which the parity property tests pin down.
+/// Tiled for autovectorization: the batch is processed [`BATCH_TILE`]
+/// samples at a time, their inputs packed lane-interleaved
+/// (`xt[k·TILE + j]` = feature `k` of sample `j`) so the hot loop is a
+/// broadcast weight times one contiguous 8-lane load — one SIMD lane per
+/// *sample*. Each output element still accumulates its `cols` products in
+/// ascending-`k` order from a `0.0` start, exactly the
+/// [`scalar::matmul_bias`] chain, so results are bit-identical to the
+/// reference (and to the per-request [`matvec_bias`] path the serving
+/// engine's decisions are pinned against); vectorization happens across
+/// independent outputs, never within one dot product. The `batch %
+/// BATCH_TILE` remainder takes the scalar path.
 ///
 /// # Panics
 ///
@@ -65,12 +218,42 @@ pub fn matmul_bias(
     assert_eq!(b.len(), rows, "matmul_bias: bias length mismatch");
     out.clear();
     out.resize(batch * rows, 0.0);
-    for r in 0..rows {
-        let row = &w[r * cols..(r + 1) * cols];
-        let br = b[r];
-        for s in 0..batch {
-            let x = &xs[s * cols..(s + 1) * cols];
-            out[s * rows + r] = dot(row, x) + br;
+    let full = batch / BATCH_TILE * BATCH_TILE;
+    if full > 0 {
+        // Lane-interleaved pack buffer, reused across the tiles of one
+        // call: packing costs O(cols · TILE) once per tile and is repaid
+        // across all `rows` weight rows.
+        let mut xt = vec![0.0f32; cols * BATCH_TILE];
+        for s0 in (0..full).step_by(BATCH_TILE) {
+            let tile = &xs[s0 * cols..(s0 + BATCH_TILE) * cols];
+            for (j, x) in tile.chunks_exact(cols).enumerate() {
+                for (k, &xv) in x.iter().enumerate() {
+                    xt[k * BATCH_TILE + j] = xv;
+                }
+            }
+            for r in 0..rows {
+                let row = &w[r * cols..(r + 1) * cols];
+                // One accumulator lane per sample; `chunks_exact` keeps
+                // the inner loop free of bounds checks so it compiles to
+                // a broadcast-multiply + vector add per feature.
+                let mut acc = [0.0f32; BATCH_TILE];
+                for (lanes, &wv) in xt.chunks_exact(BATCH_TILE).zip(row) {
+                    for (a, &xv) in acc.iter_mut().zip(lanes) {
+                        *a += wv * xv;
+                    }
+                }
+                let br = b[r];
+                for (j, &a) in acc.iter().enumerate() {
+                    out[(s0 + j) * rows + r] = a + br;
+                }
+            }
+        }
+    }
+    for s in full..batch {
+        let x = &xs[s * cols..(s + 1) * cols];
+        for r in 0..rows {
+            let row = &w[r * cols..(r + 1) * cols];
+            out[s * rows + r] = dot(row, x) + b[r];
         }
     }
 }
@@ -80,11 +263,13 @@ pub fn matmul_bias(
 /// row-major `(batch × cols)`, so each output row is laid out exactly like
 /// a [`matvec_transpose`] result for the corresponding delta.
 ///
-/// This is the batched input-gradient pass of training. The loop nest
-/// streams one weight row across the whole batch before moving to the
-/// next (the same weight-reuse restructuring as [`matmul_bias`]), while
-/// each output element accumulates its `rows` terms in exactly the order
-/// [`matvec_transpose`] adds them — so the batched backward pass is
+/// This is the batched input-gradient pass of training. The nest runs
+/// sample-outer so each sample's output row stays hot while every weight
+/// row is streamed over it; the innermost loop is a bounds-check-free
+/// broadcast-multiply-accumulate over the contiguous output row, which
+/// rustc autovectorizes. Each output element still accumulates its `rows`
+/// terms in ascending-`r` order — exactly the [`scalar::matmul_transpose`]
+/// and [`matvec_transpose`] chain — so the batched backward pass is
 /// bit-identical to the per-sample one, which the training parity
 /// property tests pin down.
 ///
@@ -111,12 +296,12 @@ pub fn matmul_transpose(
     );
     out.clear();
     out.resize(batch * cols, 0.0);
-    for r in 0..rows {
-        let row = &w[r * cols..(r + 1) * cols];
-        for s in 0..batch {
-            let dr = d[s * rows + r];
-            let orow = &mut out[s * cols..(s + 1) * cols];
-            for (o, &wv) in orow.iter_mut().zip(row) {
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    for (drow, orow) in d.chunks_exact(rows).zip(out.chunks_exact_mut(cols)) {
+        for (wrow, &dr) in w.chunks_exact(cols).zip(drow) {
+            for (o, &wv) in orow.iter_mut().zip(wrow) {
                 *o += wv * dr;
             }
         }
@@ -132,8 +317,12 @@ pub fn matmul_transpose(
 /// and bit-identical to them: for every gradient element the per-sample
 /// contributions are added in ascending sample order onto the existing
 /// value, exactly the floating-point accumulation sequence the sequential
-/// per-sample training loop produces. The restructuring only hoists the
-/// gradient row out of the sample loop for locality.
+/// per-sample training loop (and the retained [`scalar::matmul_at_b_acc`]
+/// reference) produces. Gradient rows are blocked [`ROW_TILE`] at a time
+/// so each input row loaded from `xs` is reused across the whole block
+/// before it leaves cache; within the block the innermost loop is a
+/// bounds-check-free broadcast-multiply-accumulate over the contiguous
+/// gradient row, which rustc autovectorizes.
 ///
 /// # Panics
 ///
@@ -162,13 +351,17 @@ pub fn matmul_at_b_acc(
         batch * cols,
         "matmul_at_b_acc: input shape mismatch"
     );
-    for r in 0..rows {
-        let grow = &mut dw[r * cols..(r + 1) * cols];
-        for s in 0..batch {
-            let dr = d[s * rows + r];
-            let x = &xs[s * cols..(s + 1) * cols];
-            for (g, &xv) in grow.iter_mut().zip(x) {
-                *g += dr * xv;
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    for r0 in (0..rows).step_by(ROW_TILE) {
+        let r1 = (r0 + ROW_TILE).min(rows);
+        let block = &mut dw[r0 * cols..r1 * cols];
+        for (x, dsrow) in xs.chunks_exact(cols).zip(d.chunks_exact(rows)) {
+            for (grow, &dr) in block.chunks_exact_mut(cols).zip(&dsrow[r0..r1]) {
+                for (g, &xv) in grow.iter_mut().zip(x) {
+                    *g += dr * xv;
+                }
             }
         }
     }
@@ -177,7 +370,9 @@ pub fn matmul_at_b_acc(
 /// Accumulates per-column sums of a row-major `(batch × rows)` delta
 /// matrix into `db` — the batched bias gradient, `db[r] += Σ_s d[s][r]`,
 /// with the per-element additions in ascending sample order so the result
-/// is bit-identical to `batch` successive [`add_assign`] calls.
+/// is bit-identical to `batch` successive [`add_assign`] calls (the
+/// retained [`scalar::col_sum_acc`] reference). `chunks_exact` keeps the
+/// elementwise inner loop free of bounds checks so it autovectorizes.
 ///
 /// # Panics
 ///
@@ -185,8 +380,13 @@ pub fn matmul_at_b_acc(
 pub fn col_sum_acc(db: &mut [f32], d: &[f32], batch: usize) {
     let rows = db.len();
     assert_eq!(d.len(), batch * rows, "col_sum_acc: delta shape mismatch");
-    for s in 0..batch {
-        add_assign(db, &d[s * rows..(s + 1) * rows]);
+    if rows == 0 {
+        return;
+    }
+    for drow in d.chunks_exact(rows) {
+        for (b, &dv) in db.iter_mut().zip(drow) {
+            *b += dv;
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Configuration of the sharded serving engine.
 
 use sibyl_coop::CoopConfig;
-use sibyl_core::{SibylConfig, TrainingMode};
+use sibyl_core::{QuantMode, SibylConfig, TrainingMode};
 use sibyl_hss::HssConfig;
 use sibyl_migrate::MigrateConfig;
 
@@ -95,6 +95,15 @@ pub struct ServeConfig {
     /// The agent configuration instantiated per shard (the seed is
     /// perturbed per shard).
     pub sibyl: SibylConfig,
+    /// Precision of every shard agent's batched decide path. Default:
+    /// [`QuantMode::Off`] — full f32, bit-identical to an engine without
+    /// the knob. [`QuantMode::F16`] switches the per-shard inference
+    /// networks to binary16 weight storage (compute stays f32); the
+    /// serving golden test pins that this changes zero placement
+    /// decisions on the reference trace. Overrides
+    /// [`SibylConfig::quant_mode`] per shard, the same way the per-shard
+    /// seed overrides [`SibylConfig::seed`].
+    pub quant: QuantMode,
 }
 
 impl ServeConfig {
@@ -113,6 +122,7 @@ impl ServeConfig {
             migrate: MigrateConfig::default(),
             hss,
             sibyl: SibylConfig::default(),
+            quant: QuantMode::Off,
         }
     }
 
@@ -168,6 +178,12 @@ impl ServeConfig {
     /// Replaces the per-shard agent configuration.
     pub fn with_sibyl(mut self, sibyl: SibylConfig) -> Self {
         self.sibyl = sibyl;
+        self
+    }
+
+    /// Sets the decide-path precision for every shard agent.
+    pub fn with_quant(mut self, quant: QuantMode) -> Self {
+        self.quant = quant;
         self
     }
 
@@ -256,8 +272,10 @@ mod tests {
             .with_time_scale(40.0)
             .with_nn_ns_per_mac(2.0)
             .with_curve_every(16)
-            .with_coop(CoopConfig::new(CoopMode::Both).with_sync_period(4));
+            .with_coop(CoopConfig::new(CoopMode::Both).with_sync_period(4))
+            .with_quant(QuantMode::F16);
         assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.quant, QuantMode::F16);
         assert_eq!(cfg.max_batch, 4);
         assert_eq!(cfg.queue_capacity, 64);
         assert_eq!(cfg.time_scale, 40.0);

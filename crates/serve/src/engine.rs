@@ -232,6 +232,7 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
         let resolved = config.hss.resolved(footprint.max(1));
         let mut sibyl = config.sibyl.clone();
         sibyl.seed = config.shard_seed(shard);
+        sibyl.quant_mode = config.quant;
         let mut migrate = config.migrate.clone();
         migrate.seed = config.migrate_seed(shard);
         let task = ShardTask {

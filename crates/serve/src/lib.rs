@@ -83,7 +83,9 @@ pub use config::ServeConfig;
 pub use engine::{serve_trace, shard_of, ServeError, REGION_BITS};
 pub use report::{Aggregate, CurvePoint, ServeReport, ShardReport};
 
-// Re-exported so engine users can configure cooperation and background
-// migration without direct `sibyl-coop`/`sibyl-migrate` dependencies.
+// Re-exported so engine users can configure cooperation, background
+// migration, and decide-path precision without direct
+// `sibyl-coop`/`sibyl-migrate`/`sibyl-core` dependencies.
 pub use sibyl_coop::{CoopConfig, CoopConfigError, CoopMode};
+pub use sibyl_core::QuantMode;
 pub use sibyl_migrate::{MigrateConfig, MigrateConfigError, MigratePolicyKind};
