@@ -12,8 +12,12 @@
 use std::time::Instant;
 
 use rand::SeedableRng;
+use sibyl_bench::{hm_config, seed, trace_len, TwoTermFit};
 use sibyl_core::{Experience, ExperienceBuffer, OverheadReport, SibylConfig};
 use sibyl_nn::{Activation, Mlp};
+use sibyl_serve::{DecideCost, ServeConfig, TelemetryConfig};
+use sibyl_sim::ServeExperiment;
+use sibyl_trace::mix::Mix;
 
 /// Times `f` over batched runs and prints the median ns/iter.
 fn bench_function(name: &str, mut f: impl FnMut()) {
@@ -117,7 +121,7 @@ fn training_step_table() {
 /// decide cost. The scalar→tiled delta is the §10 win this PR claims;
 /// the tiled ≤ scalar pin is asserted by the bench-crate regression test
 /// in release builds.
-fn inference_kernel_table() {
+fn inference_kernel_table() -> TwoTermFit {
     const NS_PER_MAC: f64 = 20.0;
     const BATCHES: [usize; 4] = [1, 8, 16, 32];
     println!("--- §10.1 decide-path kernels (C51 net, {NS_PER_MAC} ns/MAC model) ---");
@@ -159,6 +163,54 @@ fn inference_kernel_table() {
         "  equivalent single-rate at batch 32: {:.2} ns/MAC (model uses {NS_PER_MAC})",
         fit.step_us(32) * 1_000.0 / (MACS * 32.0)
     );
+    fit
+}
+
+/// The calibrated fit, driven through the serving engine: the same mix2
+/// replay billed once under the flat per-MAC model and once under the
+/// measured two-term fit, with telemetry reporting the billed decide
+/// cost per batch (the `serve.decide_ns` histogram — exactly what the
+/// engine charged, not a recomputation).
+fn decide_bill_table(fit: TwoTermFit) {
+    const NS_PER_MAC: f64 = 20.0;
+    let n = trace_len(2_000);
+    let trace = Mix::Mix2.generate(n, seed());
+    println!("--- §10.3 engine decide bill (mix2, {n} requests, 2 shards x batch 16) ---");
+    println!(
+        "{:<22} {:>10} {:>18} {:>14} {:>14}",
+        "model", "batches", "billed us/batch", "nn busy (us)", "avg lat (us)"
+    );
+    let models: [(&str, DecideCost); 2] = [
+        ("per-MAC flat", DecideCost::PerMac),
+        ("two-term (measured)", fit.decide_cost()),
+    ];
+    for (name, decide_cost) in models {
+        let config = ServeConfig::new(hm_config())
+            .with_shards(2)
+            .with_max_batch(16)
+            .with_time_scale(40.0)
+            .with_nn_ns_per_mac(NS_PER_MAC)
+            .with_decide_cost(decide_cost)
+            .with_telemetry(TelemetryConfig::full());
+        let outcome = ServeExperiment::new(config, trace.clone())
+            .run()
+            .expect("non-empty trace");
+        let merged = outcome
+            .report
+            .telemetry
+            .as_ref()
+            .expect("telemetry enabled")
+            .merged_registry();
+        let batches = merged.counter("serve.batches");
+        let billed_us = merged
+            .histogram("serve.decide_ns")
+            .map_or(0.0, |h| h.mean() / 1_000.0);
+        let nn_us: f64 = outcome.report.shards.iter().map(|s| s.nn_busy_us).sum();
+        println!(
+            "{name:<22} {batches:>10} {billed_us:>18.3} {nn_us:>14.1} {:>14.1}",
+            outcome.aggregate.avg_latency_us
+        );
+    }
 }
 
 fn buffer_benchmark() {
@@ -198,8 +250,9 @@ fn print_storage_accounting() {
 fn main() {
     print_storage_accounting();
     inference_benchmark();
-    inference_kernel_table();
+    let fit = inference_kernel_table();
     training_benchmark();
     training_step_table();
     buffer_benchmark();
+    decide_bill_table(fit);
 }

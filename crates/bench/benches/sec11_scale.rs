@@ -19,7 +19,7 @@
 
 use sibyl_bench::{banner, hm_config, seed, trace_len};
 use sibyl_core::SibylConfig;
-use sibyl_serve::ServeConfig;
+use sibyl_serve::{ServeConfig, TelemetryConfig};
 use sibyl_sim::report::Table;
 use sibyl_sim::ServeExperiment;
 use sibyl_trace::mix::Mix;
@@ -87,6 +87,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("inference batch size {batch}");
         println!("{}", table.render());
+    }
+
+    // CI determinism gate: when SIBYL_TELEMETRY_OUT names a file, rerun
+    // the 4-shard × batch-16 point with full telemetry and dump the
+    // deterministic JSONL export there. The export is keyed on logical
+    // time only (wall-clock lives in the excluded `measured.*`
+    // namespace), so two invocations must produce byte-identical files —
+    // CI runs this twice and diffs the dumps with `cmp`.
+    if let Ok(path) = std::env::var("SIBYL_TELEMETRY_OUT") {
+        let config = ServeConfig::new(hm_config())
+            .with_shards(4)
+            .with_max_batch(16)
+            .with_time_scale(40.0)
+            .with_nn_ns_per_mac(NN_NS_PER_MAC)
+            .with_curve_every(8)
+            .with_sibyl(sibyl.clone())
+            .with_telemetry(TelemetryConfig::full());
+        let outcome = ServeExperiment::new(config, trace).run()?;
+        let jsonl = outcome.telemetry_jsonl().expect("telemetry enabled");
+        std::fs::write(&path, &jsonl)?;
+        println!(
+            "telemetry JSONL ({} lines) written to {path}",
+            jsonl.lines().count()
+        );
     }
     Ok(())
 }

@@ -405,6 +405,19 @@ impl TwoTermFit {
     pub fn step_us(&self, batch: usize) -> f64 {
         self.setup_us + self.per_row_us * batch as f64
     }
+
+    /// Lowers the fit into the serving engine's decide-cost model
+    /// ([`sibyl_serve::DecideCost::TwoTerm`]), so `sec10_overhead`'s
+    /// calibration can drive the engine's per-batch bill directly. Exact
+    /// least squares on noisy timings can produce a slightly negative
+    /// intercept or slope; those are clamped to zero so the result
+    /// always passes [`sibyl_serve::ServeConfig::validate`].
+    pub fn decide_cost(&self) -> sibyl_serve::DecideCost {
+        sibyl_serve::DecideCost::TwoTerm {
+            setup_us: self.setup_us.max(0.0),
+            per_row_us: self.per_row_us.max(0.0),
+        }
+    }
 }
 
 /// Calibrates the two-term model from `(batch, step_us)` observations by
@@ -769,6 +782,146 @@ mod tests {
     #[should_panic(expected = "batch sizes must differ")]
     fn two_term_fit_rejects_degenerate_batches() {
         let _ = calibrate_two_term(&[(4, 1.0), (4, 2.0)]);
+    }
+
+    /// `TwoTermFit::decide_cost` lowers the fit into the engine's
+    /// decide-cost model, clamping negative least-squares artifacts so
+    /// the result always passes config validation.
+    #[test]
+    fn two_term_fit_lowers_to_a_valid_decide_cost() {
+        let fit = TwoTermFit {
+            setup_us: -0.001,
+            per_row_us: 0.4,
+        };
+        let cost = fit.decide_cost();
+        assert!(cost.is_valid());
+        assert_eq!(
+            cost,
+            sibyl_serve::DecideCost::TwoTerm {
+                setup_us: 0.0,
+                per_row_us: 0.4
+            }
+        );
+        // Where the fit is already non-negative, the engine bills exactly
+        // the fit's step cost — macs and ns/MAC are ignored by TwoTerm.
+        let fit = TwoTermFit {
+            setup_us: 3.5,
+            per_row_us: 0.4,
+        };
+        let billed = fit.decide_cost().batch_us(None, 0.0, 16);
+        assert!((billed - fit.step_us(16)).abs() < 1e-12);
+    }
+
+    /// The sec15_telemetry acceptance pin: on the mix2 reference workload
+    /// at 4 shards × batch 16, fully-enabled telemetry changes zero
+    /// placement decisions (always asserted, every profile) and — under
+    /// release codegen, where the bench's measured numbers are produced —
+    /// costs at most 3% of measured serving throughput. The throughput
+    /// bound is certified compositionally (per-request telemetry work vs
+    /// per-request serving work) because a 3% end-to-end A/B wall-clock
+    /// delta is smaller than ambient load drift on a shared runner.
+    #[test]
+    fn telemetry_overhead_is_bounded_and_non_perturbing() {
+        use sibyl_serve::{serve_trace, ServeConfig, TelemetryConfig};
+        use sibyl_trace::mix::Mix;
+
+        let trace = Mix::Mix2.generate(6_000, 42);
+        let sibyl = sibyl_core::SibylConfig {
+            train_interval: 250,
+            ..Default::default()
+        };
+        let base = ServeConfig::new(hm_config())
+            .with_shards(4)
+            .with_max_batch(16)
+            .with_time_scale(40.0)
+            .with_nn_ns_per_mac(20.0)
+            .with_curve_every(8)
+            .with_sibyl(sibyl);
+        let full = base.clone().with_telemetry(TelemetryConfig::full());
+        let off_report = serve_trace(&base, &trace).unwrap();
+        let full_report = serve_trace(&full, &trace).unwrap();
+        assert_eq!(
+            full_report.shards, off_report.shards,
+            "enabled telemetry must change zero placement decisions"
+        );
+        assert!(full_report.telemetry.is_some());
+        assert!(off_report.telemetry.is_none());
+
+        // The wall-clock pin is scoped to release builds like the kernel
+        // pins above: debug codegen inflates the registry's relative cost
+        // past anything the benches report, and debug timing noise on a
+        // loaded runner could flake the gate.
+        #[cfg(not(debug_assertions))]
+        {
+            use sibyl_telemetry::{Log2Histogram, TelemetrySink, TraceEvent};
+            use std::time::Instant;
+
+            // An end-to-end A/B comparison cannot certify a 3% bound
+            // here: ambient load on a shared runner drifts two ~400 ms
+            // arms apart by more than 3% regardless of estimator
+            // (median, paired order-alternating ratios, and best-of-N
+            // were all tried). The bound is certified compositionally
+            // instead: the telemetry work the engine performs per
+            // request at Full — the RequestServed ring event, the local
+            // latency-histogram sample, the Eviction event (charged
+            // every iteration here, though real traffic only evicts
+            // sometimes), and the per-batch registry updates amortized
+            // over a full batch of 16 — is timed in a tight loop and
+            // compared against the engine's measured per-request
+            // serving cost. Per-request telemetry work ≤ 3% of
+            // per-request serving work bounds the throughput loss of
+            // enabling telemetry at 3%.
+            const ITERS: u64 = 200_000;
+            let mut sink = TelemetrySink::new(&TelemetryConfig::full()).expect("full sink");
+            let mut latency_hist = Log2Histogram::new();
+            let t = Instant::now();
+            for i in 0..ITERS {
+                sink.event(TraceEvent::RequestServed {
+                    lpn: i,
+                    device: (i % 2) as usize,
+                    latency_us: 80.0,
+                });
+                sink.event(TraceEvent::Eviction {
+                    lpn: i,
+                    pages: 1 + i % 4,
+                });
+                latency_hist.record(80 + i % 64);
+                if i % 16 == 0 {
+                    sink.event(TraceEvent::BatchDecided {
+                        batch: i / 16,
+                        requests: 16,
+                        decide_us: 27.6,
+                    });
+                    let registry = sink.registry_mut();
+                    registry.counter_add("serve.requests", 16);
+                    registry.counter_add("serve.batches", 1);
+                    registry.histogram_record("serve.batch_fill", 16);
+                    registry.histogram_record("serve.decide_ns", 27_600);
+                }
+            }
+            let telemetry_ns = t.elapsed().as_nanos() as f64 / ITERS as f64;
+            std::hint::black_box(sink.finish(0));
+            std::hint::black_box(&latency_hist);
+
+            // The engine's per-request cost, best-of-3 at 1 shard: the
+            // telemetry work being bounded is identical per shard loop,
+            // and the single-worker run avoids the thread-scheduling
+            // spread of multi-shard wall-clock.
+            let base_1 = base.clone().with_shards(1);
+            let mut engine_s = f64::INFINITY;
+            for _ in 0..3 {
+                let t = Instant::now();
+                std::hint::black_box(serve_trace(&base_1, &trace).unwrap());
+                engine_s = engine_s.min(t.elapsed().as_secs_f64());
+            }
+            let request_ns = engine_s * 1e9 / trace.len() as f64;
+            assert!(
+                telemetry_ns <= request_ns * 0.03,
+                "telemetry overhead exceeds 3%: {telemetry_ns:.0} ns of telemetry work per \
+                 request vs {request_ns:.0} ns of serving work per request ({:.2}%)",
+                100.0 * telemetry_ns / request_ns
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use rand::{Rng, SeedableRng};
 
 use sibyl_hss::{AccessOutcome, DeviceId, PlacementContext, PlacementPolicy, StorageManager};
 use sibyl_nn::Mlp;
+use sibyl_telemetry::{Log2Histogram, Registry};
 use sibyl_trace::IoRequest;
 
 use crate::buffer::Experience;
@@ -80,6 +81,49 @@ impl PartialEq for AgentStats {
 
 impl Eq for AgentStats {}
 
+/// Point-in-time snapshot of the agent's learning state — the RL
+/// introspection probe the serving engine samples every `curve_every`
+/// batches into the telemetry registry. Reading a probe is pure: it
+/// consumes no RNG and touches no training state, so sampling it can
+/// never perturb placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RlProbe {
+    /// Current ε of the exploration anneal.
+    pub epsilon: f64,
+    /// Mean loss of the most recent training step, when one has run and
+    /// telemetry is enabled (synchronous mode only — the background
+    /// trainer does not publish losses).
+    pub last_loss: Option<f32>,
+    /// Experiences currently stored in the replay buffer (0 in
+    /// background mode: the trainer thread owns the buffer).
+    pub buffer_len: usize,
+    /// Replay-buffer capacity.
+    pub buffer_capacity: usize,
+    /// Age distribution of the stored experiences in push counts
+    /// (empty in background mode).
+    pub buffer_age: Log2Histogram,
+    /// Mean (best − second-best) Q-value gap over the greedy rows of the
+    /// most recent decided batch — how decisively the policy is choosing
+    /// (0 until a batch has been decided at `Full` telemetry).
+    pub q_spread: f64,
+    /// Normalized entropy of the chosen-action distribution of the most
+    /// recent decided batch, in `[0, 1]` (0 until a batch has been
+    /// decided at `Full` telemetry).
+    pub argmax_entropy: f64,
+    /// Training steps completed so far.
+    pub train_steps: u64,
+}
+
+/// Introspection state, allocated only when telemetry is enabled so the
+/// disabled path stays a null-pointer check.
+#[derive(Debug, Default)]
+struct Introspection {
+    registry: Registry,
+    last_loss: Option<f32>,
+    last_q_spread: f64,
+    last_argmax_entropy: f64,
+}
+
 /// Where training runs (resolved from [`TrainingMode`]).
 #[derive(Debug)]
 enum Engine {
@@ -142,6 +186,8 @@ pub struct SibylAgent {
     /// Importance weight applied to absorbed foreign experiences
     /// (1.0 = equal footing with local ones).
     foreign_weight: f32,
+    /// RL introspection state; `None` when telemetry is off.
+    introspect: Option<Box<Introspection>>,
 }
 
 impl SibylAgent {
@@ -155,6 +201,10 @@ impl SibylAgent {
         config.validate();
         let rng = StdRng::seed_from_u64(config.seed);
         let next_train_at = config.train_interval;
+        let introspect = config
+            .telemetry
+            .enabled()
+            .then(|| Box::new(Introspection::default()));
         SibylAgent {
             config,
             runtime: None,
@@ -168,6 +218,7 @@ impl SibylAgent {
             tap_acc: 0.0,
             tapped: Vec::new(),
             foreign_weight: 1.0,
+            introspect,
         }
     }
 
@@ -257,12 +308,22 @@ impl SibylAgent {
         match &mut rt.engine {
             Engine::Synchronous(learner) => {
                 learner.push(exp);
-                if due && learner.train_step().is_some() {
-                    rt.inference_net
-                        .copy_weights_from(&learner.weights_snapshot());
-                    self.stats.train_steps = learner.train_steps;
-                    self.stats.train_ns = learner.train_ns;
-                    self.stats.weight_syncs += 1;
+                if due {
+                    if let Some(loss) = learner.train_step() {
+                        rt.inference_net
+                            .copy_weights_from(&learner.weights_snapshot());
+                        self.stats.train_steps = learner.train_steps;
+                        self.stats.train_ns = learner.train_ns;
+                        self.stats.weight_syncs += 1;
+                        if let Some(intro) = self.introspect.as_deref_mut() {
+                            intro.last_loss = Some(loss);
+                            intro.registry.series_push(
+                                "rl.train_loss",
+                                learner.train_steps,
+                                f64::from(loss),
+                            );
+                        }
+                    }
                 }
             }
             Engine::Background(trainer) => {
@@ -364,6 +425,38 @@ impl SibylAgent {
             let out_dim = rt.inference_net.out_dim();
             for (k, &i) in greedy.iter().enumerate() {
                 actions[i] = rt.head.best_action(&logits[k * out_dim..(k + 1) * out_dim]);
+            }
+            // Full-level introspection: Q-value decisiveness of the
+            // greedy rows. Reading the already-computed logits consumes
+            // no RNG and changes no decision — the Off path skips this
+            // entirely.
+            if self.config.telemetry.histograms() {
+                if let Some(intro) = self.introspect.as_deref_mut() {
+                    let mut spread_sum = 0.0f64;
+                    for k in 0..greedy.len() {
+                        let q = rt.head.q_values(&logits[k * out_dim..(k + 1) * out_dim]);
+                        let mut best = f64::NEG_INFINITY;
+                        let mut second = f64::NEG_INFINITY;
+                        for &v in &q {
+                            let v = f64::from(v);
+                            if v > best {
+                                second = best;
+                                best = v;
+                            } else if v > second {
+                                second = v;
+                            }
+                        }
+                        if second.is_finite() {
+                            spread_sum += best - second;
+                        }
+                    }
+                    intro.last_q_spread = spread_sum / greedy.len() as f64;
+                }
+            }
+        }
+        if self.config.telemetry.histograms() {
+            if let Some(intro) = self.introspect.as_deref_mut() {
+                intro.last_argmax_entropy = argmax_entropy(&actions, n_actions);
             }
         }
         self.batch = observations
@@ -582,6 +675,67 @@ impl SibylAgent {
         self.config.exploration_initial
             + (self.config.exploration - self.config.exploration_initial) * progress
     }
+
+    /// Samples the RL introspection probe: exploration position, latest
+    /// loss, replay-buffer occupancy and age distribution, and the
+    /// decisiveness statistics of the most recent batch. Pure — consumes
+    /// no RNG and mutates nothing, so callers may sample at any cadence
+    /// without perturbing placement. Background mode degrades gracefully:
+    /// the trainer thread owns the buffer, so occupancy reads 0 and the
+    /// age histogram is empty.
+    pub fn probe(&self) -> RlProbe {
+        let (buffer_len, buffer_age) = match self.runtime.as_ref().map(|rt| &rt.engine) {
+            Some(Engine::Synchronous(learner)) => {
+                (learner.buffer.len(), learner.buffer.age_histogram())
+            }
+            _ => (0, Log2Histogram::new()),
+        };
+        let intro = self.introspect.as_deref();
+        RlProbe {
+            epsilon: self.epsilon(),
+            last_loss: intro.and_then(|i| i.last_loss),
+            buffer_len,
+            buffer_capacity: self.config.buffer_capacity,
+            buffer_age,
+            q_spread: intro.map_or(0.0, |i| i.last_q_spread),
+            argmax_entropy: intro.map_or(0.0, |i| i.last_argmax_entropy),
+            train_steps: self.stats.train_steps,
+        }
+    }
+
+    /// Drains the agent's internal telemetry registry (the `rl.*` loss
+    /// series plus the `measured.train_ns` wall-clock total), for the
+    /// serving engine to fold into its shard sink at teardown. `None`
+    /// when telemetry is off. The registry restarts empty, so calling
+    /// this mid-run partitions the series rather than duplicating it.
+    pub fn take_telemetry(&mut self) -> Option<Registry> {
+        let intro = self.introspect.as_deref_mut()?;
+        let mut registry = std::mem::take(&mut intro.registry);
+        registry.counter_add("measured.train_ns", self.stats.train_ns);
+        Some(registry)
+    }
+}
+
+/// Normalized entropy (in `[0, 1]`) of the action distribution a decided
+/// batch produced: 0 when every request went to one device, 1 when
+/// placements split evenly across all `n_actions`.
+fn argmax_entropy(actions: &[usize], n_actions: usize) -> f64 {
+    if actions.is_empty() || n_actions < 2 {
+        return 0.0;
+    }
+    let mut counts = vec![0u64; n_actions];
+    for &a in actions {
+        counts[a] += 1;
+    }
+    let total = actions.len() as f64;
+    let mut h = 0.0f64;
+    for &c in &counts {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.ln();
+        }
+    }
+    h / (n_actions as f64).ln()
 }
 
 impl PlacementPolicy for SibylAgent {
@@ -1150,6 +1304,72 @@ mod tests {
         assert_eq!(stats, other, "train_ns is telemetry, not identity");
         other.train_steps += 1;
         assert_ne!(stats, other, "logical counters still compare");
+    }
+
+    #[test]
+    fn telemetry_probes_observe_without_perturbing() {
+        use sibyl_telemetry::TelemetryConfig;
+        let run = |telemetry: TelemetryConfig, sample: bool| {
+            let mut mgr = manager(256);
+            let mut cfg = fast_test_config();
+            cfg.telemetry = telemetry;
+            let mut agent = SibylAgent::new(cfg);
+            let reqs = hot_cold_stream(600);
+            for chunk in reqs.chunks(16) {
+                let targets = agent.place_batch(chunk, &mgr);
+                if sample {
+                    let _ = agent.probe();
+                }
+                let outcomes: Vec<AccessOutcome> = chunk
+                    .iter()
+                    .zip(&targets)
+                    .map(|(req, &t)| mgr.access(req, t))
+                    .collect();
+                agent.feedback_batch(&outcomes);
+            }
+            (
+                mgr.stats().avg_latency_us().to_bits(),
+                agent.stats().clone(),
+                agent.probe(),
+                agent.take_telemetry(),
+            )
+        };
+        let off = run(TelemetryConfig::off(), false);
+        let full = run(TelemetryConfig::full(), true);
+        // The probes must be invisible to the decision path.
+        assert_eq!(off.0, full.0, "telemetry changed served latency");
+        assert_eq!(off.1, full.1, "telemetry changed agent stats");
+        // Off: no registry, default probe fields.
+        assert!(off.3.is_none());
+        assert_eq!(off.2.last_loss, None);
+        assert_eq!(off.2.q_spread, 0.0);
+        // Full: probes carry real learning state.
+        let probe = &full.2;
+        assert!(probe.last_loss.is_some(), "loss should be captured");
+        assert!(probe.buffer_len > 0);
+        assert_eq!(probe.buffer_capacity, 256);
+        assert_eq!(probe.buffer_age.count(), probe.buffer_len as u64);
+        assert!(probe.q_spread > 0.0, "greedy rows should have a Q gap");
+        assert!((0.0..=1.0).contains(&probe.argmax_entropy));
+        assert!(probe.train_steps >= 3);
+        assert!((0.0..1.0).contains(&probe.epsilon));
+        let registry = full.3.expect("full telemetry has a registry");
+        let loss_series = registry.series("rl.train_loss").expect("loss series");
+        assert_eq!(loss_series.len(), probe.train_steps as usize);
+        assert!(registry.counter("measured.train_ns") > 0);
+    }
+
+    #[test]
+    fn argmax_entropy_spans_unit_interval() {
+        assert_eq!(argmax_entropy(&[], 2), 0.0);
+        assert_eq!(argmax_entropy(&[0, 0, 0], 2), 0.0);
+        assert_eq!(argmax_entropy(&[1, 1], 1), 0.0);
+        let even = argmax_entropy(&[0, 1, 0, 1], 2);
+        assert!((even - 1.0).abs() < 1e-12, "even split entropy {even}");
+        let tri = argmax_entropy(&[0, 1, 2], 3);
+        assert!((tri - 1.0).abs() < 1e-12);
+        let skew = argmax_entropy(&[0, 0, 0, 1], 2);
+        assert!(skew > 0.0 && skew < 1.0);
     }
 
     #[test]

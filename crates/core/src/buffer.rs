@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use sibyl_nn::half::f32_to_f16_bits;
+use sibyl_telemetry::Log2Histogram;
 
 /// One transition. Observations are the normalized feature vectors; the
 /// paper stores them in the binned/half-precision formats accounted in
@@ -65,6 +66,11 @@ pub struct ExperienceBuffer {
     /// experiences; shared-replay absorption may down-weight foreign
     /// ones).
     weights: Vec<f32>,
+    /// Per-slot insertion stamp, parallel to `entries`: the value of
+    /// `pushes` when the slot was written (refreshed when a duplicate
+    /// re-arrives). Pure accounting for the telemetry age distribution —
+    /// never consulted by storage or sampling.
+    stamps: Vec<u64>,
     capacity: usize,
     /// Ring cursor for overwrites once full.
     cursor: usize,
@@ -86,6 +92,7 @@ impl ExperienceBuffer {
         ExperienceBuffer {
             entries: Vec::with_capacity(capacity),
             weights: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
             capacity,
             cursor: 0,
             index: HashMap::new(),
@@ -149,21 +156,39 @@ impl ExperienceBuffer {
             if weight > self.weights[slot] {
                 self.weights[slot] = weight;
             }
+            // A duplicate re-observation refreshes the slot's age: the
+            // transition is still being collected, so for telemetry it is
+            // as fresh as its latest arrival.
+            self.stamps[slot] = self.pushes;
             return false;
         }
         if self.entries.len() < self.capacity {
             self.index.insert(key, self.entries.len());
             self.entries.push(exp);
             self.weights.push(weight);
+            self.stamps.push(self.pushes);
         } else {
             let old_key = self.entries[self.cursor].dedup_key();
             self.index.remove(&old_key);
             self.index.insert(key, self.cursor);
             self.entries[self.cursor] = exp;
             self.weights[self.cursor] = weight;
+            self.stamps[self.cursor] = self.pushes;
             self.cursor = (self.cursor + 1) % self.capacity;
         }
         true
+    }
+
+    /// Age distribution of the stored experiences, in push counts: how
+    /// many push attempts ago each slot was last written (or refreshed by
+    /// a duplicate). Telemetry only — reading it never perturbs storage,
+    /// sampling, or RNG state.
+    pub fn age_histogram(&self) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for &stamp in &self.stamps {
+            h.record(self.pushes - stamp);
+        }
+        h
     }
 
     /// The importance weight stored for slot `idx`.
@@ -341,6 +366,27 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ExperienceBuffer::new(0);
+    }
+
+    #[test]
+    fn age_histogram_tracks_pushes_and_refreshes() {
+        let mut b = ExperienceBuffer::new(4);
+        b.push(exp(0.0));
+        b.push(exp(1.0));
+        b.push(exp(2.0));
+        // Ages are measured in push attempts: slot 0 is 2 pushes old,
+        // slot 1 is 1 push old, slot 2 is fresh.
+        let h = b.age_histogram();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(2));
+        // A duplicate refreshes its slot's age to zero.
+        assert!(!b.push(exp(0.0)));
+        assert_eq!(b.age_histogram().max(), Some(2));
+        assert_eq!(b.age_histogram().min(), Some(0));
+        // Reading the histogram is pure: storage is untouched.
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.pushes(), 4);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Sibyl's hyper-parameters (the paper's Table 2) and design knobs.
 
 use serde::{Deserialize, Serialize};
+use sibyl_telemetry::TelemetryConfig;
 
 use crate::features::FeatureMask;
 
@@ -169,6 +170,11 @@ pub struct SibylConfig {
     pub reward_kind: RewardKind,
     /// Precision of the batched decide path (f16 weight storage opt-in).
     pub quant_mode: QuantMode,
+    /// Telemetry recording level for the agent's RL introspection probes
+    /// (loss curves, Q-value spread, replay-buffer age). `Off` by
+    /// default — no registry is allocated and the decision path is
+    /// bit-identical to a build without telemetry.
+    pub telemetry: TelemetryConfig,
     /// RNG seed for initialization, exploration, and replay sampling.
     pub seed: u64,
 }
@@ -197,6 +203,7 @@ impl Default for SibylConfig {
             training_mode: TrainingMode::Synchronous,
             reward_kind: RewardKind::RequestLatency,
             quant_mode: QuantMode::Off,
+            telemetry: TelemetryConfig::default(),
             seed: 0x51BB_1AA7,
         }
     }
@@ -252,6 +259,9 @@ impl SibylConfig {
             self.eviction_penalty_coeff >= 0.0,
             "eviction_penalty_coeff must be non-negative"
         );
+        if let Err(e) = self.telemetry.validate() {
+            panic!("telemetry: {e}");
+        }
     }
 }
 

@@ -61,7 +61,7 @@ pub mod overhead;
 mod reward;
 mod trainer;
 
-pub use agent::{AgentStats, SibylAgent};
+pub use agent::{AgentStats, RlProbe, SibylAgent};
 pub use buffer::{Experience, ExperienceBuffer};
 pub use c51::Categorical;
 pub use config::{AgentKind, OptimizerKind, QuantMode, RewardKind, SibylConfig, TrainingMode};
@@ -69,3 +69,5 @@ pub use features::{FeatureMask, Observation, StateEncoder};
 pub use learner::Learner;
 pub use overhead::OverheadReport;
 pub use reward::RewardShaper;
+// Convenience re-exports: `SibylConfig.telemetry` is of these types.
+pub use sibyl_telemetry::{TelemetryConfig, TelemetryLevel};

@@ -10,7 +10,7 @@
 //!
 //! | rule | catches |
 //! |------|---------|
-//! | `wallclock-in-logic` | `Instant::now` / `SystemTime` outside bench code |
+//! | `wallclock-in-logic` | `Instant::now` / `SystemTime` outside bench code — the one sanctioned library reader is `sibyl-telemetry`'s `measured` module, which quarantines wall-clock behind the excluded `measured.*` metric namespace and carries the workspace's single annotated `Instant::now` |
 //! | `unordered-map-iteration` | hash-ordered iteration in non-test code |
 //! | `entropy-rng` | RNG construction that is not caller-seeded |
 //! | `unwrap-in-lib` | `unwrap`/`expect` in library non-test code |

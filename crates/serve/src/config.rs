@@ -4,8 +4,84 @@ use sibyl_coop::CoopConfig;
 use sibyl_core::{QuantMode, SibylConfig, TrainingMode};
 use sibyl_hss::HssConfig;
 use sibyl_migrate::MigrateConfig;
+use sibyl_telemetry::TelemetryConfig;
 
 use crate::engine::ServeError;
+
+/// How each batch's placement-decision compute is billed by the §10
+/// overhead model.
+///
+/// The default, [`DecideCost::PerMac`], is the original analytic model:
+/// one forward pass of `inference_macs ×
+/// [`nn_ns_per_mac`](ServeConfig::nn_ns_per_mac)` per batch, amortized
+/// over the batch's requests (free when `nn_ns_per_mac` is 0 — exactly
+/// the pre-fit engine, bit for bit).
+///
+/// [`DecideCost::TwoTerm`] instead bills the *measured* shape of the
+/// batched decide path: `sibyl-bench`'s `sec10_overhead` sweep times
+/// `place_batch` across batch sizes and fits `setup_us + per_row_us ×
+/// rows` to the medians, and this variant replays that fit inside the
+/// simulation — so the modeled bill carries the real kernels' fixed
+/// per-batch setup (feature encoding, dispatch) on top of the per-row
+/// stream, rather than assuming pure MAC proportionality. The fit is in
+/// microseconds and does not scale with `nn_ns_per_mac`; training is
+/// still billed through the MAC rate (the fit only measures inference).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DecideCost {
+    /// MAC-proportional forward pass per batch (the default; exactly the
+    /// model the engine used before the calibrated fit existed).
+    #[default]
+    PerMac,
+    /// A calibrated two-term fit: each batch of `n` requests is billed
+    /// `setup_us + per_row_us × n` microseconds, amortized over the
+    /// batch. Produce one with `sibyl-bench`'s `TwoTermFit::decide_cost`.
+    TwoTerm {
+        /// Fixed per-batch setup cost in microseconds.
+        setup_us: f64,
+        /// Marginal cost per batched request in microseconds.
+        per_row_us: f64,
+    },
+}
+
+impl DecideCost {
+    /// The modeled decide bill for one batch of `rows` requests, in
+    /// microseconds. `macs` and `ns_per_mac` feed the [`PerMac`]
+    /// (analytic) variant only.
+    ///
+    /// [`PerMac`]: DecideCost::PerMac
+    pub fn batch_us(&self, macs: Option<usize>, ns_per_mac: f64, rows: usize) -> f64 {
+        match *self {
+            DecideCost::PerMac => {
+                if ns_per_mac > 0.0 {
+                    macs.map_or(0.0, |macs| macs as f64 * ns_per_mac / 1_000.0)
+                } else {
+                    0.0
+                }
+            }
+            DecideCost::TwoTerm {
+                setup_us,
+                per_row_us,
+            } => setup_us + per_row_us * rows as f64,
+        }
+    }
+
+    /// True when the fit's terms are finite and non-negative (trivially
+    /// true for [`DecideCost::PerMac`]).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            DecideCost::PerMac => true,
+            DecideCost::TwoTerm {
+                setup_us,
+                per_row_us,
+            } => {
+                setup_us.is_finite()
+                    && setup_us >= 0.0
+                    && per_row_us.is_finite()
+                    && per_row_us >= 0.0
+            }
+        }
+    }
+}
 
 /// Configuration of a sharded serving run: how many worker shards to
 /// spawn, how deep each shard's inference batches may grow, how (and
@@ -69,6 +145,11 @@ pub struct ServeConfig {
     /// Default: 0.0 (NN compute is free, as before the overhead model
     /// was coupled in).
     pub nn_ns_per_mac: f64,
+    /// Which model prices the per-batch decide bill: the analytic
+    /// MAC-proportional default, or a [`DecideCost::TwoTerm`] fit
+    /// calibrated from measured kernel timings (see [`DecideCost`]).
+    /// Training cost always goes through [`ServeConfig::nn_ns_per_mac`].
+    pub decide_cost: DecideCost,
     /// When positive, every shard samples a learning-curve point
     /// (cumulative average latency, fast-placement fraction) every
     /// `curve_every` batches into [`crate::ShardReport::curve`].
@@ -104,6 +185,18 @@ pub struct ServeConfig {
     /// [`SibylConfig::quant_mode`] per shard, the same way the per-shard
     /// seed overrides [`SibylConfig::seed`].
     pub quant: QuantMode,
+    /// Telemetry recording for the run. Default:
+    /// [`TelemetryConfig::off`] — no sink is allocated, no event is
+    /// recorded, and the engine is pinned bit-identical to one without
+    /// the subsystem. When enabled, every shard collects a metrics
+    /// registry plus a bounded event trace into
+    /// [`crate::ServeReport::telemetry`], keyed on logical time (request
+    /// and batch counts) so two enabled runs export byte-identical
+    /// JSONL; wall-clock durations are confined to the `measured.*`
+    /// namespace, which is excluded from equality and the deterministic
+    /// export. Overrides [`SibylConfig::telemetry`] per shard, the same
+    /// way the per-shard seed overrides [`SibylConfig::seed`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl ServeConfig {
@@ -117,12 +210,14 @@ impl ServeConfig {
             queue_capacity: 1024,
             time_scale: 1.0,
             nn_ns_per_mac: 0.0,
+            decide_cost: DecideCost::PerMac,
             curve_every: 0,
             coop: CoopConfig::default(),
             migrate: MigrateConfig::default(),
             hss,
             sibyl: SibylConfig::default(),
             quant: QuantMode::Off,
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -153,6 +248,18 @@ impl ServeConfig {
     /// Sets the simulated NN-inference cost (ns per MAC; 0 disables).
     pub fn with_nn_ns_per_mac(mut self, ns_per_mac: f64) -> Self {
         self.nn_ns_per_mac = ns_per_mac;
+        self
+    }
+
+    /// Replaces the decide-cost model (see [`DecideCost`]).
+    pub fn with_decide_cost(mut self, decide_cost: DecideCost) -> Self {
+        self.decide_cost = decide_cost;
+        self
+    }
+
+    /// Sets the telemetry recording level for every shard.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -232,6 +339,10 @@ impl ServeConfig {
         if !(self.nn_ns_per_mac.is_finite() && self.nn_ns_per_mac >= 0.0) {
             return Err(ServeError::InvalidNnCost);
         }
+        if !self.decide_cost.is_valid() {
+            return Err(ServeError::InvalidDecideCost);
+        }
+        self.telemetry.validate().map_err(ServeError::Telemetry)?;
         self.coop.validate().map_err(ServeError::Coop)?;
         self.migrate.validate().map_err(ServeError::Migrate)?;
         if self.coop.mode.is_cooperative() && self.sibyl.training_mode != TrainingMode::Synchronous
@@ -259,7 +370,9 @@ mod tests {
         assert_eq!(cfg.shards, 4);
         assert_eq!(cfg.max_batch, 32);
         assert_eq!(cfg.nn_ns_per_mac, 0.0);
+        assert_eq!(cfg.decide_cost, DecideCost::PerMac);
         assert_eq!(cfg.coop.mode, CoopMode::Independent);
+        assert!(!cfg.telemetry.enabled());
         cfg.validate().unwrap();
     }
 
@@ -273,9 +386,22 @@ mod tests {
             .with_nn_ns_per_mac(2.0)
             .with_curve_every(16)
             .with_coop(CoopConfig::new(CoopMode::Both).with_sync_period(4))
-            .with_quant(QuantMode::F16);
+            .with_quant(QuantMode::F16)
+            .with_decide_cost(DecideCost::TwoTerm {
+                setup_us: 3.0,
+                per_row_us: 0.5,
+            })
+            .with_telemetry(TelemetryConfig::events());
         assert_eq!(cfg.shards, 8);
         assert_eq!(cfg.quant, QuantMode::F16);
+        assert_eq!(
+            cfg.decide_cost,
+            DecideCost::TwoTerm {
+                setup_us: 3.0,
+                per_row_us: 0.5,
+            }
+        );
+        assert_eq!(cfg.telemetry, TelemetryConfig::events());
         assert_eq!(cfg.max_batch, 4);
         assert_eq!(cfg.queue_capacity, 64);
         assert_eq!(cfg.time_scale, 40.0);
@@ -330,6 +456,52 @@ mod tests {
                 .validate(),
             Err(ServeError::Coop(CoopConfigError::InvalidShareFraction))
         );
+    }
+
+    #[test]
+    fn decide_cost_models_price_batches() {
+        assert_eq!(DecideCost::PerMac.batch_us(Some(1_380), 10.0, 32), 13.8);
+        assert_eq!(DecideCost::PerMac.batch_us(Some(1_380), 0.0, 32), 0.0);
+        assert_eq!(DecideCost::PerMac.batch_us(None, 10.0, 32), 0.0);
+        let fit = DecideCost::TwoTerm {
+            setup_us: 2.0,
+            per_row_us: 0.25,
+        };
+        // The fit is measured, so it ignores the MAC rate entirely.
+        assert_eq!(fit.batch_us(Some(1_380), 0.0, 8), 4.0);
+        assert_eq!(fit.batch_us(None, 99.0, 8), 4.0);
+    }
+
+    #[test]
+    fn degenerate_decide_cost_and_telemetry_are_errors() {
+        assert_eq!(
+            ServeConfig::new(hss())
+                .with_decide_cost(DecideCost::TwoTerm {
+                    setup_us: -1.0,
+                    per_row_us: 0.1,
+                })
+                .validate(),
+            Err(ServeError::InvalidDecideCost)
+        );
+        assert_eq!(
+            ServeConfig::new(hss())
+                .with_decide_cost(DecideCost::TwoTerm {
+                    setup_us: 1.0,
+                    per_row_us: f64::NAN,
+                })
+                .validate(),
+            Err(ServeError::InvalidDecideCost)
+        );
+        let mut telemetry = TelemetryConfig::events();
+        telemetry.event_capacity = 0;
+        assert!(matches!(
+            ServeConfig::new(hss()).with_telemetry(telemetry).validate(),
+            Err(ServeError::Telemetry(_))
+        ));
+        ServeConfig::new(hss())
+            .with_telemetry(TelemetryConfig::full())
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -10,9 +10,13 @@ use sibyl_coop::{CoopConfigError, Coordinator};
 use sibyl_core::{SibylAgent, TrainingMode};
 use sibyl_hss::{AccessOutcome, StorageManager};
 use sibyl_migrate::{MigrateConfig, MigrateConfigError, Migrator};
+use sibyl_telemetry::{
+    measured, Log2Histogram, ShardTelemetry, TelemetryConfig, TelemetryConfigError,
+    TelemetryReport, TelemetrySink, TraceEvent,
+};
 use sibyl_trace::{IoRequest, Trace};
 
-use crate::config::ServeConfig;
+use crate::config::{DecideCost, ServeConfig};
 use crate::report::{CurvePoint, ServeReport, ShardReport};
 
 /// Errors from serving runs: an unusable trace or a degenerate
@@ -31,6 +35,11 @@ pub enum ServeError {
     InvalidTimeScale,
     /// `nn_ns_per_mac` is negative or not finite.
     InvalidNnCost,
+    /// A [`DecideCost::TwoTerm`](crate::DecideCost) fit carries a
+    /// negative or non-finite term.
+    InvalidDecideCost,
+    /// The telemetry configuration is degenerate.
+    Telemetry(TelemetryConfigError),
     /// The cooperation configuration is degenerate.
     Coop(CoopConfigError),
     /// The background-migration configuration is degenerate.
@@ -76,6 +85,13 @@ impl std::fmt::Display for ServeError {
                     "ServeConfig: nn_ns_per_mac must be non-negative and finite"
                 )
             }
+            ServeError::InvalidDecideCost => {
+                write!(
+                    f,
+                    "ServeConfig: decide-cost fit terms must be non-negative and finite"
+                )
+            }
+            ServeError::Telemetry(e) => write!(f, "ServeConfig: {e}"),
             ServeError::Coop(e) => write!(f, "ServeConfig: {e}"),
             ServeError::Migrate(e) => write!(f, "ServeConfig: {e}"),
             ServeError::ShardDown { shard } => {
@@ -233,6 +249,7 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
         let mut sibyl = config.sibyl.clone();
         sibyl.seed = config.shard_seed(shard);
         sibyl.quant_mode = config.quant;
+        sibyl.telemetry = config.telemetry;
         let mut migrate = config.migrate.clone();
         migrate.seed = config.migrate_seed(shard);
         let task = ShardTask {
@@ -242,9 +259,11 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
             sibyl,
             max_batch: config.max_batch,
             nn_ns_per_mac: config.nn_ns_per_mac,
+            decide_cost: config.decide_cost,
             curve_every: config.curve_every,
             coop: coordinator.clone(),
             migrate,
+            telemetry: config.telemetry,
         };
         let spawned = std::thread::Builder::new()
             .name(format!("sibyl-shard-{shard}"))
@@ -285,9 +304,13 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
     drop(senders); // end-of-trace (or abort): workers drain and exit
 
     let mut shards: Vec<ShardReport> = Vec::with_capacity(workers.len());
+    let mut shard_telemetry: Vec<ShardTelemetry> = Vec::new();
     for (shard, handle) in workers.into_iter().enumerate() {
         match handle.join() {
-            Ok(report) => shards.push(report),
+            Ok((report, telemetry)) => {
+                shards.push(report);
+                shard_telemetry.extend(telemetry);
+            }
             // Prefer the panicking shard's index over the shard whose
             // queue the router noticed first — they can differ when one
             // shard's death aborts routing to the others.
@@ -298,7 +321,11 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
         return Err(ServeError::ShardDown { shard });
     }
     shards.sort_by_key(|s| s.shard);
-    Ok(ServeReport { shards })
+    let telemetry = config
+        .telemetry
+        .enabled()
+        .then(|| TelemetryReport::new(shard_telemetry));
+    Ok(ServeReport { shards, telemetry })
 }
 
 /// Everything one worker shard needs, moved onto its thread.
@@ -309,9 +336,11 @@ struct ShardTask {
     sibyl: sibyl_core::SibylConfig,
     max_batch: usize,
     nn_ns_per_mac: f64,
+    decide_cost: DecideCost,
     curve_every: u64,
     coop: Option<Arc<Coordinator>>,
     migrate: MigrateConfig,
+    telemetry: TelemetryConfig,
 }
 
 /// Deregisters a shard from the coordinator when its thread exits — on
@@ -335,9 +364,26 @@ impl Drop for LeaveGuard {
 /// on its logical batch boundaries; repeat until the router hangs up,
 /// then leave the coordinator (via a drop guard, so a panicking shard
 /// releases its peers instead of wedging the barrier).
-fn run_shard(task: ShardTask) -> ShardReport {
+fn run_shard(task: ShardTask) -> (ShardReport, Option<ShardTelemetry>) {
     let mut manager = StorageManager::new(&task.resolved);
     let mut agent = SibylAgent::new(task.sibyl);
+    // `TelemetryConfig::off()` builds no sink: every telemetry branch
+    // below is an `if let Some(..)` that never fires, keeping the
+    // disabled engine bit-identical to one without the subsystem. The
+    // stopwatch is the one wall-clock read, and its total can only land
+    // in the `measured.*` namespace — excluded from report equality and
+    // the deterministic export.
+    let mut sink = TelemetrySink::new(&task.telemetry);
+    let stopwatch = sink.as_ref().map(|_| measured::Stopwatch::start());
+    // Per-request latency samples accumulate into a shard-local histogram
+    // and merge into the registry once at teardown: a name lookup per
+    // request is the kind of hot-path cost the ≤3% overhead pin exists
+    // to keep out, and bucket counts merge commutatively, so the final
+    // registry (and export) is identical either way.
+    let mut latency_hist = match &sink {
+        Some(s) if s.histograms() => Some(Log2Histogram::new()),
+        _ => None,
+    };
     let _leave_guard = task.coop.as_ref().map(|coord| LeaveGuard {
         coord: Arc::clone(coord),
         member: task.shard,
@@ -366,6 +412,10 @@ fn run_shard(task: ShardTask) -> ShardReport {
     // so its cost lands on the *next* batch's dispatch.
     let mut pending_train_us = 0.0f64;
     let mut charged_train_steps = 0u64;
+    // Train steps already turned into `TraceEvent::TrainStep` records —
+    // tracked separately from `charged_train_steps`, which only advances
+    // when the §10 cost model is billing.
+    let mut event_train_steps = 0u64;
     let mut curve: Vec<CurvePoint> = Vec::new();
     let mut disconnected = false;
     while !disconnected {
@@ -387,21 +437,53 @@ fn run_shard(task: ShardTask) -> ShardReport {
         // §10 overhead model: one forward pass per batch — the batched
         // kernels stream each weight matrix once per *batch* — amortized
         // evenly across the batch's requests as an arrival delay, plus
-        // any training bill carried over from the previous batch.
-        let per_req_nn_us = if task.nn_ns_per_mac > 0.0 {
-            agent
-                .inference_macs()
-                .map_or(0.0, |macs| macs as f64 * task.nn_ns_per_mac / 1_000.0)
-                / batch.len() as f64
-        } else {
-            0.0
-        };
+        // any training bill carried over from the previous batch. The
+        // default `DecideCost::PerMac` keeps the analytic MAC bill;
+        // `DecideCost::TwoTerm` replays the measured setup + per-row fit.
+        let batch_decide_us =
+            task.decide_cost
+                .batch_us(agent.inference_macs(), task.nn_ns_per_mac, batch.len());
+        let per_req_nn_us = batch_decide_us / batch.len() as f64;
         let per_req_delay_us = per_req_nn_us + pending_train_us / batch.len() as f64;
         pending_train_us = 0.0;
+        if let Some(sink) = &mut sink {
+            sink.event(TraceEvent::BatchDecided {
+                batch: batches,
+                requests: batch.len(),
+                decide_us: batch_decide_us,
+            });
+        }
         outcomes.clear();
         for (req, &target) in batch.iter().zip(&targets) {
             nn_busy_us += per_req_nn_us;
-            outcomes.push(manager.access_after(req, target, per_req_delay_us));
+            let outcome = manager.access_after(req, target, per_req_delay_us);
+            if let Some(sink) = &mut sink {
+                sink.event(TraceEvent::RequestServed {
+                    lpn: req.lpn,
+                    device: target.0,
+                    latency_us: outcome.latency_us,
+                });
+                if outcome.evicted_pages > 0 {
+                    sink.event(TraceEvent::Eviction {
+                        lpn: req.lpn,
+                        pages: outcome.evicted_pages,
+                    });
+                }
+            }
+            if let Some(h) = &mut latency_hist {
+                h.record(outcome.latency_us as u64);
+            }
+            outcomes.push(outcome);
+        }
+        if let Some(sink) = &mut sink {
+            let registry = sink.registry_mut();
+            registry.counter_add("serve.requests", batch.len() as u64);
+            registry.counter_add("serve.batches", 1);
+            if sink.histograms() {
+                let registry = sink.registry_mut();
+                registry.histogram_record("serve.batch_fill", batch.len() as u64);
+                registry.histogram_record("serve.decide_ns", (batch_decide_us * 1_000.0) as u64);
+            }
         }
         agent.feedback_batch(&outcomes);
         // Training is billed only in synchronous mode, where the learner
@@ -425,6 +507,23 @@ fn run_shard(task: ShardTask) -> ShardReport {
             }
             charged_train_steps = agent.stats().train_steps;
         }
+        if let Some(sink) = &mut sink {
+            // Synchronous train steps happen inside `feedback_batch`, so
+            // the count delta over this batch is deterministic; the loss
+            // comes from the agent's introspection probe (telemetry is
+            // propagated into `SibylConfig`, so it is always on here).
+            let steps = agent.stats().train_steps;
+            if steps > event_train_steps {
+                let loss = agent.probe().last_loss.map_or(f64::NAN, f64::from);
+                for step in event_train_steps..steps {
+                    sink.event(TraceEvent::TrainStep {
+                        step: step + 1,
+                        loss,
+                    });
+                }
+                event_train_steps = steps;
+            }
+        }
         batches += 1;
         requests += batch.len() as u64;
         // Background-migration tick at deterministic batch-count
@@ -436,10 +535,43 @@ fn run_shard(task: ShardTask) -> ShardReport {
                 let tick = m.tick(&mut manager);
                 migrations += tick.moved_pages;
                 migration_busy_us += tick.busy_us;
+                if let Some(sink) = &mut sink {
+                    sink.event(TraceEvent::MigrationTick {
+                        tick: batches / m.config().scan_period,
+                        moved_pages: tick.moved_pages,
+                        busy_us: tick.busy_us,
+                    });
+                }
             }
         }
         if task.curve_every > 0 && batches.is_multiple_of(task.curve_every) {
-            curve.push(CurvePoint::from_stats(manager.stats()));
+            let point = CurvePoint::from_stats(manager.stats());
+            if let Some(sink) = &mut sink {
+                // The learning curve doubles as a registry time series —
+                // keyed on the shard's request count, logical time — and
+                // at `Full` level the same cadence samples the agent's RL
+                // introspection probe (pure: no RNG, no mutation).
+                let registry = sink.registry_mut();
+                registry.series_push("curve.avg_latency_us", point.requests, point.avg_latency_us);
+                registry.series_push(
+                    "curve.fast_fraction",
+                    point.requests,
+                    point.fast_placement_fraction,
+                );
+                if sink.histograms() {
+                    let probe = agent.probe();
+                    let registry = sink.registry_mut();
+                    registry.series_push("rl.epsilon", batches, probe.epsilon);
+                    registry.series_push("rl.buffer_len", batches, probe.buffer_len as f64);
+                    registry.series_push("rl.q_spread", batches, probe.q_spread);
+                    registry.series_push("rl.argmax_entropy", batches, probe.argmax_entropy);
+                    if let Some(loss) = probe.last_loss {
+                        registry.series_push("rl.loss", batches, f64::from(loss));
+                    }
+                    registry.histogram_merge("rl.replay_age", &probe.buffer_age);
+                }
+            }
+            curve.push(point);
         }
         if let Some(coord) = &task.coop {
             if batches.is_multiple_of(coord.config().sync_period) {
@@ -461,10 +593,47 @@ fn run_shard(task: ShardTask) -> ShardReport {
                     agent.absorb_experiences(&outcome.shared);
                 }
                 coop_syncs += 1;
+                if let Some(sink) = &mut sink {
+                    sink.event(TraceEvent::CoopSync {
+                        round: coop_syncs,
+                        batches,
+                    });
+                    sink.registry_mut().counter_add("coop.syncs", 1);
+                }
             }
         }
     }
-    ShardReport {
+    let telemetry = sink.map(|mut sink| {
+        // Fold the run's terminal state into the registry: the agent's
+        // internal `rl.*` series and `measured.train_ns`, the storage
+        // manager's `hss.*` counters, the migrator's `migrate.*`
+        // counters, and the cooperation configuration. Shard-local state
+        // only — global coordinator counters keep advancing while other
+        // shards drain, so reading them here would make the export
+        // depend on teardown timing.
+        if let Some(h) = &latency_hist {
+            // Guarded on non-empty so a shard that served nothing exports
+            // exactly what per-request recording would have: no entry.
+            if h.count() > 0 {
+                sink.registry_mut().histogram_merge("serve.latency_us", h);
+            }
+        }
+        if let Some(registry) = agent.take_telemetry() {
+            sink.registry_mut().absorb(registry);
+        }
+        manager.stats().record_registry(sink.registry_mut());
+        if let Some(m) = &migrator {
+            m.stats().record_registry(sink.registry_mut());
+        }
+        if let Some(coord) = &task.coop {
+            coord.config().record_registry(sink.registry_mut());
+        }
+        if let Some(stopwatch) = stopwatch {
+            stopwatch.stop_into(sink.registry_mut(), "measured.shard_run_ns");
+        }
+        sink.finish(task.shard)
+    });
+    let report = ShardReport {
         shard: task.shard,
         requests,
         batches,
@@ -476,7 +645,8 @@ fn run_shard(task: ShardTask) -> ShardReport {
         curve,
         stats: manager.stats().clone(),
         agent: agent.stats().clone(),
-    }
+    };
+    (report, telemetry)
 }
 
 #[cfg(test)]
@@ -900,6 +1070,147 @@ mod tests {
         assert!(
             report.shards.iter().map(|s| s.nn_busy_us).sum::<f64>() > 0.0,
             "inference is still charged"
+        );
+    }
+
+    #[test]
+    fn telemetry_off_is_bit_identical_to_baseline_engine() {
+        // TelemetryConfig::off() must take the exact pre-subsystem code
+        // path: no sink, no events, no registry — so its report matches
+        // a config that never mentions telemetry, bit for bit, even with
+        // the ring capacity set to an exotic value.
+        let trace = mixed_trace(1_000);
+        let baseline = serve_trace(&config(4, 16), &trace).unwrap();
+        let mut off = TelemetryConfig::off();
+        off.event_capacity = 7;
+        let report = serve_trace(&config(4, 16).with_telemetry(off), &trace).unwrap();
+        assert_eq!(report, baseline);
+        assert!(report.telemetry.is_none());
+    }
+
+    #[test]
+    fn telemetry_observes_without_perturbing_placement() {
+        // Enabling telemetry must change zero placement decisions: the
+        // per-shard reports (latencies, placements, agent counters) stay
+        // bit-identical; only the `telemetry` section appears.
+        let trace = mixed_trace(1_000);
+        let cfg = config(4, 16)
+            .with_curve_every(4)
+            .with_migrate(MigrateConfig::new(MigratePolicyKind::HotCold).with_scan_period(4));
+        let baseline = serve_trace(&cfg, &trace).unwrap();
+        let full =
+            serve_trace(&cfg.clone().with_telemetry(TelemetryConfig::full()), &trace).unwrap();
+        assert_eq!(full.shards, baseline.shards);
+        let telemetry = full.telemetry.as_ref().expect("telemetry section");
+        assert_eq!(telemetry.shards.len(), 4);
+        for (shard, report) in telemetry.shards.iter().zip(&full.shards) {
+            assert_eq!(shard.shard, report.shard);
+            assert!(shard.recorded_events > 0, "shard {} silent", shard.shard);
+            assert_eq!(shard.registry.counter("serve.requests"), report.requests);
+            assert_eq!(shard.registry.counter("serve.batches"), report.batches);
+            assert_eq!(
+                shard.registry.counter("hss.requests"),
+                report.stats.total_requests
+            );
+            let latency = shard.registry.histogram("serve.latency_us").unwrap();
+            assert_eq!(latency.count(), report.requests);
+            assert_eq!(
+                shard.registry.counter("migrate.promoted_pages")
+                    + shard.registry.counter("migrate.demoted_pages"),
+                report.migrations
+            );
+            // Full level samples the RL probe at the curve cadence and
+            // drains the agent's internal loss series.
+            assert!(shard.registry.series("rl.epsilon").is_some());
+            assert!(shard.registry.series("rl.train_loss").is_some());
+            assert!(shard.registry.histogram("rl.replay_age").is_some());
+            assert_eq!(
+                shard.registry.series("curve.avg_latency_us").unwrap().len(),
+                report.curve.len()
+            );
+            // The wall-clock total lives in the measured namespace only.
+            assert!(shard.registry.counter("measured.shard_run_ns") > 0);
+        }
+        // Events level records the trace and counters but no histograms.
+        let events = serve_trace(
+            &cfg.clone().with_telemetry(TelemetryConfig::events()),
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(events.shards, baseline.shards);
+        for shard in &events.telemetry.as_ref().unwrap().shards {
+            assert!(shard.registry.histogram("serve.latency_us").is_none());
+            assert!(shard.recorded_events > 0);
+        }
+    }
+
+    #[test]
+    fn telemetry_event_trace_covers_the_taxonomy() {
+        let trace = mixed_trace(1_000);
+        let cfg = config(2, 8)
+            .with_nn_ns_per_mac(10.0)
+            .with_migrate(MigrateConfig::new(MigratePolicyKind::HotCold).with_scan_period(4))
+            .with_coop(CoopConfig::new(CoopMode::SharedReplay).with_sync_period(4))
+            .with_telemetry(TelemetryConfig::full());
+        let report = serve_trace(&cfg, &trace).unwrap();
+        let telemetry = report.telemetry.unwrap();
+        let kinds: std::collections::BTreeSet<&str> = telemetry
+            .shards
+            .iter()
+            .flat_map(|s| s.events.iter().map(|e| e.event.kind()))
+            .collect();
+        for expected in [
+            "batch_decided",
+            "request_served",
+            "train_step",
+            "migration_tick",
+            "coop_sync",
+        ] {
+            assert!(kinds.contains(expected), "no {expected} event recorded");
+        }
+        // Sequence numbers are per-shard and strictly increasing.
+        for shard in &telemetry.shards {
+            for w in shard.events.windows(2) {
+                assert!(w[0].seq < w[1].seq);
+            }
+            assert_eq!(shard.registry.counter("coop.syncs"), {
+                report
+                    .shards
+                    .iter()
+                    .find(|s| s.shard == shard.shard)
+                    .unwrap()
+                    .coop_syncs
+            });
+        }
+    }
+
+    #[test]
+    fn two_term_decide_cost_reduces_to_per_mac_when_flat() {
+        // A TwoTerm fit with `setup_us = macs × ns/MAC / 1000` and zero
+        // per-row slope prices batches exactly like the analytic model,
+        // so the two configurations must produce bit-identical reports.
+        let trace = mixed_trace(800);
+        let per_mac = serve_trace(&config(2, 8).with_nn_ns_per_mac(10.0), &trace).unwrap();
+        let flat = config(2, 8)
+            .with_nn_ns_per_mac(10.0) // training is still billed per MAC
+            .with_decide_cost(DecideCost::TwoTerm {
+                setup_us: 1_380.0 * 10.0 / 1_000.0,
+                per_row_us: 0.0,
+            });
+        assert_eq!(serve_trace(&flat, &trace).unwrap(), per_mac);
+        // A positive per-row slope bills more than the flat fit.
+        let sloped = config(2, 8)
+            .with_nn_ns_per_mac(10.0)
+            .with_decide_cost(DecideCost::TwoTerm {
+                setup_us: 1_380.0 * 10.0 / 1_000.0,
+                per_row_us: 0.5,
+            });
+        let sloped_report = serve_trace(&sloped, &trace).unwrap();
+        let flat_busy: f64 = per_mac.shards.iter().map(|s| s.nn_busy_us).sum();
+        let sloped_busy: f64 = sloped_report.shards.iter().map(|s| s.nn_busy_us).sum();
+        assert!(
+            sloped_busy > flat_busy,
+            "per-row slope must add decide cost: {sloped_busy} vs {flat_busy}"
         );
     }
 

@@ -79,13 +79,18 @@ mod config;
 mod engine;
 mod report;
 
-pub use config::ServeConfig;
+pub use config::{DecideCost, ServeConfig};
 pub use engine::{serve_trace, shard_of, ServeError, REGION_BITS};
 pub use report::{Aggregate, CurvePoint, ServeReport, ShardReport};
 
 // Re-exported so engine users can configure cooperation, background
-// migration, and decide-path precision without direct
-// `sibyl-coop`/`sibyl-migrate`/`sibyl-core` dependencies.
+// migration, decide-path precision, and telemetry without direct
+// `sibyl-coop`/`sibyl-migrate`/`sibyl-core`/`sibyl-telemetry`
+// dependencies.
 pub use sibyl_coop::{CoopConfig, CoopConfigError, CoopMode};
 pub use sibyl_core::QuantMode;
 pub use sibyl_migrate::{MigrateConfig, MigrateConfigError, MigratePolicyKind};
+pub use sibyl_telemetry::{
+    ShardTelemetry, TelemetryConfig, TelemetryConfigError, TelemetryLevel, TelemetryReport,
+    TraceEvent,
+};

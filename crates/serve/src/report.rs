@@ -2,6 +2,7 @@
 
 use sibyl_core::AgentStats;
 use sibyl_hss::HssStats;
+use sibyl_telemetry::TelemetryReport;
 
 /// One cumulative learning-curve sample, taken every
 /// [`ServeConfig::curve_every`](crate::ServeConfig::curve_every) batches
@@ -107,6 +108,12 @@ pub struct Aggregate {
 pub struct ServeReport {
     /// One report per shard, ordered by shard index.
     pub shards: Vec<ShardReport>,
+    /// Per-shard telemetry (registries and event traces), present only
+    /// when [`ServeConfig::telemetry`](crate::ServeConfig) is enabled.
+    /// `measured.*` wall-clock entries inside are excluded from this
+    /// report's `PartialEq`, so two identically-seeded enabled runs still
+    /// compare equal.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl ServeReport {
@@ -197,6 +204,7 @@ mod tests {
                 shard(0, 100, 1_000.0, (0.0, 1e6)),
                 shard(1, 300, 9_000.0, (0.0, 2e6)),
             ],
+            telemetry: None,
         };
         let agg = report.aggregate();
         assert_eq!(agg.total_requests, 400);
@@ -208,7 +216,10 @@ mod tests {
 
     #[test]
     fn empty_report_is_safe() {
-        let report = ServeReport { shards: vec![] };
+        let report = ServeReport {
+            shards: vec![],
+            telemetry: None,
+        };
         let agg = report.aggregate();
         assert_eq!(agg.total_requests, 0);
         assert_eq!(agg.iops, 0.0);

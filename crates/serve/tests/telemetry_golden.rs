@@ -1,0 +1,106 @@
+//! End-to-end golden pins for the telemetry subsystem's determinism
+//! contract.
+//!
+//! Two claims, pinned across the same shard geometries the quantization
+//! goldens cover (4×16, 2×8, 1×32 on the Mix2 reference trace):
+//!
+//! 1. **Disabled ⇒ invisible.** `TelemetryConfig::off()` allocates no
+//!    sink and produces a [`ServeReport`] bit-identical to a config that
+//!    never mentions telemetry.
+//! 2. **Enabled ⇒ reproducible and non-perturbing.** Two enabled runs
+//!    export *byte-identical* JSONL (everything deterministic lives on
+//!    logical time; wall-clock totals are confined to the `measured.*`
+//!    namespace, which the export excludes), and enabling telemetry
+//!    changes zero placement decisions — the per-shard reports match the
+//!    disabled run's exactly.
+
+use sibyl_core::SibylConfig;
+use sibyl_hss::{DeviceSpec, HssConfig};
+use sibyl_serve::{serve_trace, ServeConfig, TelemetryConfig};
+use sibyl_trace::mix;
+
+fn fast_sibyl() -> SibylConfig {
+    SibylConfig {
+        buffer_capacity: 256,
+        train_interval: 128,
+        batch_size: 32,
+        batches_per_step: 2,
+        n_atoms: 11,
+        exploration: 0.05,
+        exploration_initial: 0.3,
+        exploration_decay_requests: 500,
+        ..Default::default()
+    }
+}
+
+fn config(shards: usize, max_batch: usize) -> ServeConfig {
+    let hss = HssConfig::dual(DeviceSpec::optane_ssd(), DeviceSpec::tlc_ssd());
+    ServeConfig::new(hss)
+        .with_shards(shards)
+        .with_max_batch(max_batch)
+        .with_nn_ns_per_mac(20.0)
+        .with_curve_every(8)
+        .with_sibyl(fast_sibyl())
+}
+
+/// The reference geometries: (shards, max_batch, requests per trace
+/// component) — matching the quantization goldens.
+const GEOMETRIES: [(usize, usize, usize); 3] = [(4, 16, 1_000), (2, 8, 800), (1, 32, 600)];
+
+#[test]
+fn telemetry_off_is_bit_identical_to_default_config() {
+    for (shards, max_batch, n) in GEOMETRIES {
+        let trace = mix::Mix::Mix2.generate(n, 7);
+        let baseline = serve_trace(&config(shards, max_batch), &trace).unwrap();
+        let explicit = serve_trace(
+            &config(shards, max_batch).with_telemetry(TelemetryConfig::off()),
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(explicit, baseline, "{shards}x{max_batch}");
+        assert!(baseline.telemetry.is_none());
+    }
+}
+
+#[test]
+fn enabled_exports_are_byte_identical_across_runs() {
+    for (shards, max_batch, n) in GEOMETRIES {
+        let trace = mix::Mix::Mix2.generate(n, 7);
+        let cfg = config(shards, max_batch).with_telemetry(TelemetryConfig::full());
+        let a = serve_trace(&cfg, &trace).unwrap();
+        let b = serve_trace(&cfg, &trace).unwrap();
+        let jsonl_a = a.telemetry.as_ref().unwrap().export_jsonl();
+        let jsonl_b = b.telemetry.as_ref().unwrap().export_jsonl();
+        assert_eq!(
+            jsonl_a, jsonl_b,
+            "{shards}x{max_batch}: telemetry export must be byte-identical"
+        );
+        // The deterministic export never leaks a wall-clock value.
+        assert!(!jsonl_a.contains("measured."), "{shards}x{max_batch}");
+        // And the reports — with measured values excluded from equality —
+        // compare equal too.
+        assert_eq!(a, b, "{shards}x{max_batch}");
+    }
+}
+
+#[test]
+fn enabling_telemetry_changes_zero_placement_decisions() {
+    for (shards, max_batch, n) in GEOMETRIES {
+        let trace = mix::Mix::Mix2.generate(n, 7);
+        let off = serve_trace(&config(shards, max_batch), &trace).unwrap();
+        for telemetry in [TelemetryConfig::events(), TelemetryConfig::full()] {
+            let on =
+                serve_trace(&config(shards, max_batch).with_telemetry(telemetry), &trace).unwrap();
+            assert_eq!(
+                on.shards, off.shards,
+                "{shards}x{max_batch} {telemetry:?}: placement or accounting drifted"
+            );
+        }
+        // The runs exercised learning, so the pin is not vacuous.
+        let trained: u64 = off.shards.iter().map(|s| s.agent.train_steps).sum();
+        assert!(
+            trained > 0,
+            "{shards}x{max_batch}: golden trace never trained"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! The sharded-serving experiment driver: trace × serving configuration
 //! → per-shard and aggregate metrics.
 
-use sibyl_serve::{serve_trace, Aggregate, ServeConfig, ServeReport};
+use sibyl_serve::{serve_trace, Aggregate, ServeConfig, ServeReport, TelemetryReport};
 use sibyl_trace::Trace;
 
 use crate::experiment::SimError;
@@ -18,6 +18,30 @@ pub struct ServeOutcome {
     pub aggregate: Aggregate,
     /// The engine's full report (batch counts, agent counters).
     pub report: ServeReport,
+}
+
+impl ServeOutcome {
+    /// The run's merged-and-per-shard telemetry export as deterministic
+    /// JSONL (one JSON object per line; `measured.*` wall-clock entries
+    /// are excluded, so two identically-seeded runs export byte-identical
+    /// text). `None` when the run's
+    /// [`ServeConfig::telemetry`](sibyl_serve::ServeConfig) was off.
+    pub fn telemetry_jsonl(&self) -> Option<String> {
+        self.report
+            .telemetry
+            .as_ref()
+            .map(TelemetryReport::export_jsonl)
+    }
+
+    /// A plain-text `sibyl-top`-style rendering of the run's telemetry:
+    /// merged counters, gauges, histogram percentiles, and per-shard
+    /// event accounting. `None` when telemetry was off.
+    pub fn telemetry_top(&self) -> Option<String> {
+        self.report
+            .telemetry
+            .as_ref()
+            .map(TelemetryReport::render_top)
+    }
 }
 
 /// A reusable sharded-serving experiment: one workload served through the
@@ -122,6 +146,33 @@ mod tests {
         assert_eq!(per_shard, 2_000);
         assert_eq!(exp.config().shards, 4);
         assert_eq!(exp.trace().len(), 2_000);
+    }
+
+    #[test]
+    fn telemetry_dump_is_deterministic_and_optional() {
+        let trace = msrc::generate(msrc::Workload::Prxy1, 1_200, 5);
+        let off = ServeExperiment::new(config(2), trace.clone())
+            .run()
+            .unwrap();
+        assert!(off.telemetry_jsonl().is_none());
+        assert!(off.telemetry_top().is_none());
+        let cfg = config(2)
+            .with_curve_every(4)
+            .with_telemetry(sibyl_serve::TelemetryConfig::full());
+        let exp = ServeExperiment::new(cfg, trace);
+        let a = exp.run().unwrap();
+        let b = exp.run().unwrap();
+        let jsonl = a.telemetry_jsonl().unwrap();
+        assert_eq!(
+            jsonl,
+            b.telemetry_jsonl().unwrap(),
+            "export must be byte-identical"
+        );
+        assert!(jsonl.lines().count() > 10);
+        assert!(!jsonl.contains("measured."));
+        let top = a.telemetry_top().unwrap();
+        assert!(top.contains("sibyl-top"));
+        assert!(top.contains("serve.requests"));
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Bounded ring-buffer event trace with per-shard sequence numbers.
+
+use std::collections::VecDeque;
+
+/// One traced occurrence in the serving stack.
+///
+/// Every variant carries only logical-time data (request indices, batch
+/// counts, simulated µs) — the trace of a deterministic run is itself
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A request completed in the storage model.
+    RequestServed {
+        /// Logical page number of the request.
+        lpn: u64,
+        /// Device index that served it.
+        device: usize,
+        /// Modeled request latency in simulated µs.
+        latency_us: f64,
+    },
+    /// The agent decided placements for one batch.
+    BatchDecided {
+        /// Batch ordinal within the shard (1-based, matches
+        /// `ShardReport.batches`).
+        batch: u64,
+        /// Requests in the batch.
+        requests: usize,
+        /// Modeled decide cost billed to the batch, simulated µs.
+        decide_us: f64,
+    },
+    /// The learner completed a training step.
+    TrainStep {
+        /// Cumulative train-step count after this step.
+        step: u64,
+        /// Mean loss of the step.
+        loss: f64,
+    },
+    /// The background migrator ran one scan tick.
+    MigrationTick {
+        /// Cumulative tick count after this tick.
+        tick: u64,
+        /// Pages moved by this tick.
+        moved_pages: u64,
+        /// Modeled migration busy time, simulated µs.
+        busy_us: f64,
+    },
+    /// The shard synchronized with the cooperation coordinator.
+    CoopSync {
+        /// Coordinator round observed by this sync.
+        round: u64,
+        /// Shard batch count at the sync point.
+        batches: u64,
+    },
+    /// Serving a request evicted pages from a faster device.
+    Eviction {
+        /// Logical page number of the triggering request.
+        lpn: u64,
+        /// Pages evicted.
+        pages: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lowercase type tag used by the JSONL export.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RequestServed { .. } => "request_served",
+            TraceEvent::BatchDecided { .. } => "batch_decided",
+            TraceEvent::TrainStep { .. } => "train_step",
+            TraceEvent::MigrationTick { .. } => "migration_tick",
+            TraceEvent::CoopSync { .. } => "coop_sync",
+            TraceEvent::Eviction { .. } => "eviction",
+        }
+    }
+}
+
+/// An event stamped with its per-shard sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqEvent {
+    /// Position in the shard's event stream (0-based, gap-free even when
+    /// old events have been dropped from the ring).
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A bounded ring of [`SeqEvent`]s: the newest `capacity` events win.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    capacity: usize,
+    events: VecDeque<SeqEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records `event`, evicting (and counting) the oldest if full.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push_back(SeqEvent {
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SeqEvent> {
+        self.events.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Consumes the ring, returning retained events oldest-first and the
+    /// dropped count.
+    pub fn into_parts(self) -> (Vec<SeqEvent>, u64) {
+        (self.events.into_iter().collect(), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(step: u64) -> TraceEvent {
+        TraceEvent::TrainStep { step, loss: 0.5 }
+    }
+
+    #[test]
+    fn sequence_numbers_survive_drops() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.record(ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.recorded(), 5);
+        let seqs: Vec<u64> = ring.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(ev(0).kind(), "train_step");
+        assert_eq!(TraceEvent::Eviction { lpn: 1, pages: 2 }.kind(), "eviction");
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let mut ring = EventRing::new(8);
+        ring.record(ev(0));
+        ring.record(ev(1));
+        let (events, dropped) = ring.into_parts();
+        assert_eq!(events.len(), 2);
+        assert_eq!(dropped, 0);
+        assert_eq!(events[1].seq, 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Minimal hand-rolled JSON emission helpers.
+//!
+//! Telemetry exports must be byte-stable across runs and toolchain
+//! updates, so the JSONL writer formats everything itself instead of
+//! delegating to a serializer: `f64` goes through `Display` (Rust's
+//! shortest-roundtrip formatting, deterministic for a given value) and
+//! non-finite values become `null`.
+
+use std::fmt::Write;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub(crate) fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `v`, or `null` when `v` is not finite.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_controls() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_shortest_roundtrip_or_null() {
+        let mut s = String::new();
+        push_f64(&mut s, 0.1);
+        s.push(' ');
+        push_f64(&mut s, f64::NAN);
+        s.push(' ');
+        push_f64(&mut s, -3.0);
+        assert_eq!(s, "0.1 null -3");
+    }
+}

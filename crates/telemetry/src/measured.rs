@@ -1,0 +1,97 @@
+//! The sanctioned wall-clock namespace.
+//!
+//! Everything else in this crate is keyed on logical time and is part of
+//! the determinism contract. Real elapsed-time measurement is still
+//! useful (overhead accounting, like `AgentStats::train_ns`), so it is
+//! quarantined here: a [`Stopwatch`] may only deposit into metric names
+//! under the `measured.` prefix, and that prefix is excluded from
+//! registry equality and from the deterministic JSONL export. This module
+//! holds the single `sibyl-lint` `wallclock-in-logic` annotation in the
+//! crate — wall-clock reads anywhere else in telemetry are a lint error.
+
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// Prefix of the non-deterministic metric namespace.
+pub const MEASURED_PREFIX: &str = "measured.";
+
+/// True when `name` lives in the non-deterministic `measured.` namespace.
+pub fn is_measured(name: &str) -> bool {
+    name.starts_with(MEASURED_PREFIX)
+}
+
+/// A wall-clock timer that can only report into the `measured.`
+/// namespace.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_telemetry::{measured::Stopwatch, Registry};
+/// let mut r = Registry::new();
+/// let sw = Stopwatch::start();
+/// let ns = sw.stop_into(&mut r, "measured.example_ns");
+/// assert_eq!(r.counter("measured.example_ns"), ns);
+/// ```
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            // sibyl-lint: allow(wallclock-in-logic) -- the `measured`
+            // module is the one sanctioned wall-clock site in telemetry:
+            // durations read here can only land under the `measured.`
+            // prefix (asserted in `stop_into`), which is excluded from
+            // equality and from the deterministic export, so they are
+            // reported but never fed back into decisions.
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops the timer, adds the elapsed nanoseconds to the named counter,
+    /// and returns them. `name` must start with [`MEASURED_PREFIX`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is outside the `measured.` namespace — wall-clock
+    /// durations must never masquerade as deterministic metrics.
+    pub fn stop_into(self, registry: &mut Registry, name: &str) -> u64 {
+        assert!(
+            is_measured(name),
+            "wall-clock durations must be recorded under `{MEASURED_PREFIX}*`, got `{name}`"
+        );
+        let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        registry.counter_add(name, ns);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_classification() {
+        assert!(is_measured("measured.train_ns"));
+        assert!(!is_measured("serve.requests"));
+        assert!(!is_measured("measured"));
+    }
+
+    #[test]
+    #[should_panic(expected = "measured.")]
+    fn stopwatch_rejects_deterministic_names() {
+        let mut r = Registry::new();
+        Stopwatch::start().stop_into(&mut r, "serve.requests");
+    }
+
+    #[test]
+    fn stopwatch_reports_into_measured() {
+        let mut r = Registry::new();
+        let ns = Stopwatch::start().stop_into(&mut r, "measured.test_ns");
+        assert_eq!(r.counter("measured.test_ns"), ns);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property pins for the log2 histogram — the percentile substrate every
+//! merged telemetry export builds on.
+//!
+//! The properties matter because shards merge in arbitrary logical
+//! groupings: merge must be associative and commutative (any fold order
+//! gives the same histogram), percentiles must be monotone in the rank,
+//! and bucket-boundary values (exact powers of two, 0, `u64::MAX`) must
+//! land in well-defined buckets so two runs can never disagree on an
+//! export byte.
+
+use proptest::prelude::*;
+
+use sibyl_telemetry::Log2Histogram;
+
+fn from_values(values: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Recording a concatenation equals merging the parts: merge is the
+    /// histogram homomorphism of multiset union.
+    #[test]
+    fn merge_equals_union(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..60),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..60),
+    ) {
+        let mut merged = from_values(&a);
+        merged.merge(&from_values(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert_eq!(merged, from_values(&concat));
+    }
+
+    /// Merge is commutative: a ∪ b == b ∪ a.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..50),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..50),
+    ) {
+        let mut ab = from_values(&a);
+        ab.merge(&from_values(&b));
+        let mut ba = from_values(&b);
+        ba.merge(&from_values(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        c in proptest::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let mut left = from_values(&a);
+        left.merge(&from_values(&b));
+        left.merge(&from_values(&c));
+        let mut bc = from_values(&b);
+        bc.merge(&from_values(&c));
+        let mut right = from_values(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Percentile estimates are monotone non-decreasing in the rank and
+    /// stay inside the observed [min, max] envelope.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..80),
+        ranks in proptest::collection::vec(0u32..=1000, 2..20),
+    ) {
+        let h = from_values(&values);
+        let lo = *values.iter().min().unwrap() as f64;
+        let hi = *values.iter().max().unwrap() as f64;
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        let mut last = f64::NEG_INFINITY;
+        for r in sorted {
+            let p = f64::from(r) / 1000.0;
+            let est = h.percentile(p);
+            prop_assert!(est >= last, "percentile({p}) = {est} < {last}");
+            prop_assert!((lo..=hi).contains(&est), "percentile({p}) = {est} outside [{lo}, {hi}]");
+            last = est;
+        }
+    }
+
+    /// The log2 layout guarantees every estimate is within 2x of a true
+    /// sample quantile's bucket: for a single repeated value, every
+    /// percentile is exact.
+    #[test]
+    fn constant_distributions_are_exact(v in 0u64..u64::MAX, n in 1usize..50, r in 0u32..=1000) {
+        let h = from_values(&vec![v; n]);
+        prop_assert_eq!(h.percentile(f64::from(r) / 1000.0), v as f64);
+    }
+
+    /// Bucket-boundary values: powers of two and their neighbors keep
+    /// count/min/max exactly, and merging boundary singletons preserves
+    /// the envelope.
+    #[test]
+    fn power_of_two_boundaries_keep_envelope(shift in 0u32..64) {
+        let v = 1u64 << shift;
+        let mut h = Log2Histogram::new();
+        h.record(v - 1);
+        h.record(v);
+        if v < u64::MAX {
+            h.record(v + 1);
+        }
+        prop_assert_eq!(h.min(), Some(v - 1));
+        prop_assert_eq!(h.max().unwrap(), if v < u64::MAX { v + 1 } else { v });
+        // p0/p100 clamp to the envelope regardless of bucket width.
+        prop_assert_eq!(h.percentile(0.0), (v - 1) as f64);
+        prop_assert_eq!(h.percentile(1.0), h.max().unwrap() as f64);
+    }
+
+    /// Count and mean survive any merge split.
+    #[test]
+    fn count_and_sum_are_merge_invariant(
+        values in proptest::collection::vec(0u64..1_000_000, 1..80),
+        split in 0usize..80,
+    ) {
+        let cut = split.min(values.len());
+        let mut h = from_values(&values[..cut]);
+        h.merge(&from_values(&values[cut..]));
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let true_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - true_mean).abs() < 1e-6 * true_mean.max(1.0));
+    }
+}
+
+#[test]
+fn extreme_values_have_homes() {
+    let mut h = Log2Histogram::new();
+    h.record(0);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.min(), Some(0));
+    assert_eq!(h.max(), Some(u64::MAX));
+    let buckets: Vec<_> = h.nonzero_buckets().collect();
+    assert_eq!(buckets, vec![(0, 1), (64, 1)]);
+}

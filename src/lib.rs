@@ -27,6 +27,9 @@
 //! - [`migrate`] — the background migration subsystem: a Harmonia-style
 //!   second RL agent (plus heuristic and baseline policies) that
 //!   proactively promotes and demotes pages between devices.
+//! - [`telemetry`] — the deterministic observability substrate: metrics
+//!   registry with log2 histograms, bounded event traces, JSONL export,
+//!   and the `sibyl-top` summary renderer.
 //!
 //! ## Quickstart
 //!
@@ -56,4 +59,5 @@ pub use sibyl_nn as nn;
 pub use sibyl_policies as policies;
 pub use sibyl_serve as serve;
 pub use sibyl_sim as sim;
+pub use sibyl_telemetry as telemetry;
 pub use sibyl_trace as trace;
