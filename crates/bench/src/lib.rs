@@ -924,6 +924,58 @@ mod tests {
         }
     }
 
+    /// The sec14_scale acceptance pins at test size: a streamed serving
+    /// run is bit-identical to the materialized run it replaces, and the
+    /// compact directory's resident bytes track the workload's footprint
+    /// — under 96 bytes per tracked page, growing far slower than the
+    /// request count when the same fixed-horizon stream is served 8×
+    /// longer. Settings mirror the bench target at a test-sized horizon.
+    #[test]
+    fn streamed_scale_run_keeps_directory_footprint_bounded() {
+        use sibyl_serve::{serve_stream, serve_trace, ServeConfig};
+        use sibyl_sim::ServeExperiment;
+        use sibyl_trace::mix::Mix;
+
+        let horizon = 800;
+        let config = ServeConfig::new(hm_config())
+            .with_shards(4)
+            .with_max_batch(16)
+            .with_time_scale(40.0)
+            .with_sibyl(sibyl_core::SibylConfig {
+                train_interval: 250,
+                ..Default::default()
+            });
+
+        // Streamed == materialized on the bench's own workload and config.
+        let trace = Mix::Mix2.generate(horizon, 42);
+        let vec_fed = serve_trace(&config, &trace).unwrap();
+        let streamed = serve_stream(&config, Mix::Mix2.stream(horizon, 42).take(trace.len()));
+        assert_eq!(vec_fed, streamed.unwrap());
+
+        // Fixed horizon, 1x vs 8x the requests: compact and sublinear.
+        let short =
+            ServeExperiment::run_stream(&config, Mix::Mix2.stream(horizon, 42).take(2 * horizon))
+                .unwrap();
+        let long =
+            ServeExperiment::run_stream(&config, Mix::Mix2.stream(horizon, 42).take(16 * horizon))
+                .unwrap();
+        for outcome in [&short, &long] {
+            let report = &outcome.report;
+            let bytes_per_page = report.total_directory_bytes() as f64
+                / report.total_directory_pages().max(1) as f64;
+            assert!(
+                bytes_per_page <= 96.0,
+                "directory not compact: {bytes_per_page:.1} B/page"
+            );
+        }
+        assert!(
+            long.report.total_directory_bytes() < 4 * short.report.total_directory_bytes(),
+            "directory bytes must track footprint, not trace length: {} -> {}",
+            short.report.total_directory_bytes(),
+            long.report.total_directory_bytes()
+        );
+    }
+
     #[test]
     fn avg_row_is_geometric_mean() {
         let mut t = Table::new(vec!["w".into(), "x".into()]);

@@ -21,30 +21,72 @@ use sibyl_trace::{IoOp, IoRequest};
 /// Kept separate from [`StorageManager`] so [`VictimPolicy`]
 /// implementations can inspect residency while the manager mutates other
 /// state.
+///
+/// # Layout (the scale path)
+///
+/// Production-sized runs track millions of pages, so the directory is a
+/// compact arena rather than the obvious `HashMap<u64, PageMeta>` plus
+/// one `BTreeMap` LRU per device (~130+ bytes/page across three
+/// allocations): per-page metadata lives in one dense, append-only
+/// `PageEntry` arena (40 bytes/page, indices stable forever — pages
+/// move between devices but are never forgotten), an open-addressing
+/// index maps `lpn → entry` (4 bytes/slot, splitmix64 hashing, linear
+/// probing, insert-only so no tombstones), and each device's LRU order
+/// is an intrusive doubly-linked list threaded through the arena via
+/// `prev`/`next` (no separate tree nodes). Entries always link in at
+/// the tail with a freshly incremented token, so list order **is**
+/// token order — iteration is bit-identical to the old per-device
+/// `BTreeMap<token, lpn>` walk, which is what keeps placement decisions
+/// on the golden traces unchanged. [`PageDirectory::directory_bytes`]
+/// reports the exact heap footprint for the `sec14_scale` accounting.
 #[derive(Debug, Default)]
 pub struct PageDirectory {
-    table: HashMap<u64, PageMeta>,
-    /// Per-device recency index: lru_token → lpn (oldest first).
-    lru: Vec<BTreeMap<u64, u64>>,
+    /// Dense page metadata; an entry's index never changes.
+    entries: Vec<PageEntry>,
+    /// Open-addressing `lpn → entry index` map (`INDEX_EMPTY` = free),
+    /// power-of-two capacity, grown at 7/8 load.
+    index: Vec<u32>,
+    /// Head (least recent) of each device's intrusive LRU list.
+    heads: Vec<u32>,
+    /// Tail (most recent) of each device's intrusive LRU list.
+    tails: Vec<u32>,
     used: Vec<u64>,
     lru_counter: u64,
 }
 
+/// Sentinel for "no entry" in the index and the LRU links.
+const NO_ENTRY: u32 = u32::MAX;
+
+/// One tracked page: 40 bytes, device + recency + heat, threaded into
+/// its device's LRU list through `prev`/`next`.
 #[derive(Debug, Clone, Copy)]
-struct PageMeta {
-    device: DeviceId,
+struct PageEntry {
+    lpn: u64,
     lru_token: u64,
+    /// Previous (older) entry in this device's LRU list.
+    prev: u32,
+    /// Next (newer) entry in this device's LRU list.
+    next: u32,
     /// Accesses to the page while tracked (survives moves between
     /// devices) — the residency-scoped hotness signal background
-    /// migration policies key on.
-    heat: u64,
+    /// migration policies key on. Saturating at `u32::MAX` (4.3 G
+    /// accesses to one page — beyond any supported run length).
+    heat: u32,
     /// The heat the page had when it last landed on its current device.
     /// `heat - heat_at_place` counts accesses *since arrival* — the
     /// signal that distinguishes a genuinely re-hot page from one that
     /// was just moved (a freshly demoted high-heat page must earn new
     /// accesses before it can qualify for promotion again, or demotion
     /// and promotion ping-pong forever).
-    heat_at_place: u64,
+    heat_at_place: u32,
+    device: u8,
+}
+
+/// splitmix64 finalizer — the index's hash function.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// One background page move requested by a migration policy: relocate
@@ -82,17 +124,99 @@ impl MigrationOutcome {
 
 impl PageDirectory {
     fn new(n_devices: usize) -> Self {
+        assert!(
+            n_devices < usize::from(u8::MAX),
+            "PageDirectory: at most 254 devices"
+        );
         PageDirectory {
-            table: HashMap::new(),
-            lru: (0..n_devices).map(|_| BTreeMap::new()).collect(),
+            entries: Vec::new(),
+            index: Vec::new(),
+            heads: vec![NO_ENTRY; n_devices],
+            tails: vec![NO_ENTRY; n_devices],
             used: vec![0; n_devices],
             lru_counter: 0,
         }
     }
 
+    /// The arena index of `lpn`'s entry, if tracked.
+    fn find(&self, lpn: u64) -> Option<u32> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut slot = mix64(lpn) as usize & mask;
+        loop {
+            match self.index[slot] {
+                NO_ENTRY => return None,
+                i if self.entries[i as usize].lpn == lpn => return Some(i),
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// Links `entry` into the index, growing (and rehashing slot indices
+    /// only — entries never move) once load passes 7/8.
+    fn index_insert(&mut self, entry: u32) {
+        if self.index.is_empty() || (self.entries.len() + 1) * 8 > self.index.len() * 7 {
+            let cap = (self.index.len() * 2).max(64);
+            let mut fresh = vec![NO_ENTRY; cap];
+            let mask = cap - 1;
+            for (i, e) in self.entries.iter().enumerate() {
+                let mut slot = mix64(e.lpn) as usize & mask;
+                while fresh[slot] != NO_ENTRY {
+                    slot = (slot + 1) & mask;
+                }
+                fresh[slot] = i as u32;
+            }
+            self.index = fresh;
+        }
+        let mask = self.index.len() - 1;
+        let mut slot = mix64(self.entries[entry as usize].lpn) as usize & mask;
+        while self.index[slot] != NO_ENTRY {
+            slot = (slot + 1) & mask;
+        }
+        self.index[slot] = entry;
+    }
+
+    /// Unlinks entry `i` from device `dev`'s LRU list.
+    fn list_unlink(&mut self, i: u32, dev: usize) {
+        let (prev, next) = {
+            let e = &self.entries[i as usize];
+            (e.prev, e.next)
+        };
+        if prev == NO_ENTRY {
+            self.heads[dev] = next;
+        } else {
+            self.entries[prev as usize].next = next;
+        }
+        if next == NO_ENTRY {
+            self.tails[dev] = prev;
+        } else {
+            self.entries[next as usize].prev = prev;
+        }
+    }
+
+    /// Links entry `i` at the tail (most recent end) of device `dev`'s
+    /// LRU list.
+    fn list_push_tail(&mut self, i: u32, dev: usize) {
+        let tail = self.tails[dev];
+        {
+            let e = &mut self.entries[i as usize];
+            e.prev = tail;
+            e.next = NO_ENTRY;
+        }
+        if tail == NO_ENTRY {
+            self.heads[dev] = i;
+        } else {
+            self.entries[tail as usize].next = i;
+        }
+        self.tails[dev] = i;
+    }
+
     /// The device currently holding `lpn`, if the page exists.
     pub fn residency(&self, lpn: u64) -> Option<DeviceId> {
-        self.table.get(&lpn).map(|m| m.device)
+        self.find(lpn)
+            .map(|i| DeviceId(usize::from(self.entries[i as usize].device)))
     }
 
     /// Pages resident on `device`.
@@ -102,24 +226,41 @@ impl PageDirectory {
 
     /// The least-recently-used page on `device`.
     pub fn lru_first(&self, device: DeviceId) -> Option<u64> {
-        self.lru[device.0].values().next().copied()
+        match self.heads[device.0] {
+            NO_ENTRY => None,
+            i => Some(self.entries[i as usize].lpn),
+        }
     }
 
     /// Number of tracked pages.
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.entries.len()
     }
 
     /// `true` when no pages are tracked.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.entries.is_empty()
+    }
+
+    /// Exact heap footprint of the directory in bytes: the entry arena,
+    /// the open-addressing index, and the per-device list/usage vectors.
+    /// Grows with the number of *distinct pages touched* (the workload
+    /// footprint), never with trace length — the bound `sec14_scale` and
+    /// the CI gate assert.
+    pub fn directory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<PageEntry>()
+            + self.index.capacity() * std::mem::size_of::<u32>()
+            + (self.heads.capacity() + self.tails.capacity()) * std::mem::size_of::<u32>()
+            + self.used.capacity() * std::mem::size_of::<u64>()
+            + std::mem::size_of::<Self>()
     }
 
     /// Accesses to `lpn` while tracked (0 for unknown pages). Heat
     /// survives moves between devices, so a page promoted by a migration
     /// policy keeps the history that made it a candidate.
     pub fn heat(&self, lpn: u64) -> u64 {
-        self.table.get(&lpn).map_or(0, |m| m.heat)
+        self.find(lpn)
+            .map_or(0, |i| u64::from(self.entries[i as usize].heat))
     }
 
     /// Accesses to `lpn` since it last landed on its current device
@@ -128,13 +269,16 @@ impl PageDirectory {
     /// carries its old heat but has not been touched since the move, and
     /// promoting it back would be pure churn.
     pub fn heat_since_place(&self, lpn: u64) -> u64 {
-        self.table.get(&lpn).map_or(0, |m| m.heat - m.heat_at_place)
+        self.find(lpn).map_or(0, |i| {
+            let e = &self.entries[i as usize];
+            u64::from(e.heat - e.heat_at_place)
+        })
     }
 
     /// The recency token of `lpn` — larger means more recently placed or
     /// touched. `None` for unknown pages.
     pub fn recency_token(&self, lpn: u64) -> Option<u64> {
-        self.table.get(&lpn).map(|m| m.lru_token)
+        self.find(lpn).map(|i| self.entries[i as usize].lru_token)
     }
 
     /// The current value of the global recency counter; the age of a page
@@ -147,7 +291,12 @@ impl PageDirectory {
     /// recently used first) as `(recency_token, lpn)` pairs. Reversible —
     /// migration policies scan the hot end with `.rev()`.
     pub fn iter_lru(&self, device: DeviceId) -> impl DoubleEndedIterator<Item = (u64, u64)> + '_ {
-        self.lru[device.0].iter().map(|(&t, &lpn)| (t, lpn))
+        LruIter {
+            entries: &self.entries,
+            front: self.heads[device.0],
+            back: self.tails[device.0],
+            exhausted: self.heads[device.0] == NO_ENTRY,
+        }
     }
 
     /// Inserts or moves `lpn` onto `device`, refreshing recency. Returns
@@ -155,25 +304,37 @@ impl PageDirectory {
     fn place(&mut self, lpn: u64, device: DeviceId) -> Option<DeviceId> {
         self.lru_counter += 1;
         let token = self.lru_counter;
-        let heat = self.table.get(&lpn).map_or(0, |m| m.heat);
-        match self.table.insert(
-            lpn,
-            PageMeta {
-                device,
-                lru_token: token,
-                heat,
-                heat_at_place: heat,
-            },
-        ) {
-            Some(old) => {
-                self.lru[old.device.0].remove(&old.lru_token);
-                self.used[old.device.0] -= 1;
-                self.lru[device.0].insert(token, lpn);
+        match self.find(lpn) {
+            Some(i) => {
+                let (old_dev, heat) = {
+                    let e = &self.entries[i as usize];
+                    (usize::from(e.device), e.heat)
+                };
+                self.list_unlink(i, old_dev);
+                self.used[old_dev] -= 1;
+                {
+                    let e = &mut self.entries[i as usize];
+                    e.device = device.0 as u8;
+                    e.lru_token = token;
+                    e.heat_at_place = heat;
+                }
+                self.list_push_tail(i, device.0);
                 self.used[device.0] += 1;
-                Some(old.device)
+                Some(DeviceId(old_dev))
             }
             None => {
-                self.lru[device.0].insert(token, lpn);
+                let i = self.entries.len() as u32;
+                self.entries.push(PageEntry {
+                    lpn,
+                    lru_token: token,
+                    prev: NO_ENTRY,
+                    next: NO_ENTRY,
+                    heat: 0,
+                    heat_at_place: 0,
+                    device: device.0 as u8,
+                });
+                self.index_insert(i);
+                self.list_push_tail(i, device.0);
                 self.used[device.0] += 1;
                 None
             }
@@ -185,12 +346,11 @@ impl PageDirectory {
     fn touch(&mut self, lpn: u64) {
         self.lru_counter += 1;
         let token = self.lru_counter;
-        if let Some(meta) = self.table.get_mut(&lpn) {
-            let old = meta.lru_token;
-            let dev = meta.device;
-            meta.lru_token = token;
-            self.lru[dev.0].remove(&old);
-            self.lru[dev.0].insert(token, lpn);
+        if let Some(i) = self.find(lpn) {
+            let dev = usize::from(self.entries[i as usize].device);
+            self.list_unlink(i, dev);
+            self.entries[i as usize].lru_token = token;
+            self.list_push_tail(i, dev);
         }
     }
 
@@ -198,9 +358,53 @@ impl PageDirectory {
     /// pure metadata update that never moves LRU state, so it is
     /// invisible to eviction and latency accounting).
     fn bump_heat(&mut self, lpn: u64) {
-        if let Some(meta) = self.table.get_mut(&lpn) {
-            meta.heat += 1;
+        if let Some(i) = self.find(lpn) {
+            let e = &mut self.entries[i as usize];
+            e.heat = e.heat.saturating_add(1);
         }
+    }
+}
+
+/// Double-ended walk of one device's intrusive LRU list, oldest first.
+/// Tokens ascend front-to-back (entries only ever link in at the tail
+/// with a fresh token), matching the old `BTreeMap<token, lpn>` order.
+#[derive(Debug)]
+struct LruIter<'a> {
+    entries: &'a [PageEntry],
+    front: u32,
+    back: u32,
+    exhausted: bool,
+}
+
+impl Iterator for LruIter<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        if self.exhausted {
+            return None;
+        }
+        let e = &self.entries[self.front as usize];
+        if self.front == self.back {
+            self.exhausted = true;
+        } else {
+            self.front = e.next;
+        }
+        Some((e.lru_token, e.lpn))
+    }
+}
+
+impl DoubleEndedIterator for LruIter<'_> {
+    fn next_back(&mut self) -> Option<(u64, u64)> {
+        if self.exhausted {
+            return None;
+        }
+        let e = &self.entries[self.back as usize];
+        if self.front == self.back {
+            self.exhausted = true;
+        } else {
+            self.back = e.prev;
+        }
+        Some((e.lru_token, e.lpn))
     }
 }
 
@@ -1232,6 +1436,161 @@ mod tests {
         assert_eq!(m.residency(30), Some(DeviceId(0)));
         assert_eq!(m.residency(10), Some(DeviceId(0)));
         assert_eq!(m.residency(40), Some(DeviceId(0)));
+    }
+
+    /// The directory the compact arena replaced, kept as a test oracle:
+    /// `HashMap<lpn, meta>` plus one `BTreeMap<token, lpn>` per device.
+    #[derive(Default)]
+    struct ModelDirectory {
+        table: HashMap<u64, (usize, u64, u64, u64)>, // device, token, heat, heat_at_place
+        lru: Vec<BTreeMap<u64, u64>>,
+        counter: u64,
+    }
+
+    impl ModelDirectory {
+        fn new(n: usize) -> Self {
+            ModelDirectory {
+                table: HashMap::new(),
+                lru: (0..n).map(|_| BTreeMap::new()).collect(),
+                counter: 0,
+            }
+        }
+
+        fn place(&mut self, lpn: u64, dev: usize) {
+            self.counter += 1;
+            let heat = self.table.get(&lpn).map_or(0, |m| m.2);
+            if let Some(old) = self.table.insert(lpn, (dev, self.counter, heat, heat)) {
+                self.lru[old.0].remove(&old.1);
+            }
+            self.lru[dev].insert(self.counter, lpn);
+        }
+
+        fn touch(&mut self, lpn: u64) {
+            self.counter += 1;
+            let token = self.counter;
+            if let Some(m) = self.table.get_mut(&lpn) {
+                let (dev, old) = (m.0, m.1);
+                m.1 = token;
+                self.lru[dev].remove(&old);
+                self.lru[dev].insert(token, lpn);
+            }
+        }
+
+        fn bump_heat(&mut self, lpn: u64) {
+            if let Some(m) = self.table.get_mut(&lpn) {
+                m.2 += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn compact_directory_matches_reference_model_exactly() {
+        // Drive the arena directory and the old-layout model through an
+        // identical deterministic op mix, comparing every observable
+        // after every step — the bit-identity contract the golden serve
+        // tests rely on.
+        let n_dev = 3;
+        let mut dir = PageDirectory::new(n_dev);
+        let mut model = ModelDirectory::new(n_dev);
+        let mut state = 0x0D1E_u64;
+        for step in 0..20_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let lpn = (state >> 8) % 512; // heavy reuse: moves + touches
+            match state % 4 {
+                0 | 1 => {
+                    let dev = (state >> 32) as usize % n_dev;
+                    assert_eq!(
+                        dir.place(lpn, DeviceId(dev)),
+                        model.table.get(&lpn).map(|m| DeviceId(m.0)),
+                        "place return at step {step}"
+                    );
+                    model.place(lpn, dev);
+                }
+                2 => {
+                    dir.touch(lpn);
+                    model.touch(lpn);
+                }
+                _ => {
+                    dir.bump_heat(lpn);
+                    model.bump_heat(lpn);
+                }
+            }
+            assert_eq!(dir.current_token(), model.counter);
+            assert_eq!(
+                dir.residency(lpn),
+                model.table.get(&lpn).map(|m| DeviceId(m.0))
+            );
+            assert_eq!(dir.heat(lpn), model.table.get(&lpn).map_or(0, |m| m.2));
+            assert_eq!(
+                dir.heat_since_place(lpn),
+                model.table.get(&lpn).map_or(0, |m| m.2 - m.3)
+            );
+            assert_eq!(dir.recency_token(lpn), model.table.get(&lpn).map(|m| m.1));
+        }
+        assert_eq!(dir.len(), model.table.len());
+        for d in 0..n_dev {
+            let dev = DeviceId(d);
+            assert_eq!(dir.used_pages(dev), model.lru[d].len() as u64);
+            assert_eq!(dir.lru_first(dev), model.lru[d].values().next().copied());
+            let ours: Vec<(u64, u64)> = dir.iter_lru(dev).collect();
+            let theirs: Vec<(u64, u64)> = model.lru[d].iter().map(|(&t, &l)| (t, l)).collect();
+            assert_eq!(ours, theirs, "forward LRU walk, device {d}");
+            let ours_rev: Vec<(u64, u64)> = dir.iter_lru(dev).rev().collect();
+            let theirs_rev: Vec<(u64, u64)> =
+                model.lru[d].iter().rev().map(|(&t, &l)| (t, l)).collect();
+            assert_eq!(ours_rev, theirs_rev, "reverse LRU walk, device {d}");
+        }
+    }
+
+    #[test]
+    fn lru_iter_is_double_ended_and_meets_in_the_middle() {
+        let mut dir = PageDirectory::new(2);
+        for lpn in 0..5u64 {
+            let _ = dir.place(lpn, DeviceId(0));
+        }
+        let mut it = dir.iter_lru(DeviceId(0));
+        assert_eq!(it.next().map(|(_, l)| l), Some(0));
+        assert_eq!(it.next_back().map(|(_, l)| l), Some(4));
+        assert_eq!(it.next().map(|(_, l)| l), Some(1));
+        assert_eq!(it.next_back().map(|(_, l)| l), Some(3));
+        assert_eq!(it.next().map(|(_, l)| l), Some(2));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next_back(), None);
+    }
+
+    #[test]
+    fn directory_bytes_tracks_footprint_not_traffic() {
+        let mut dir = PageDirectory::new(2);
+        for lpn in 0..10_000u64 {
+            let _ = dir.place(lpn, DeviceId((lpn % 2) as usize));
+        }
+        let at_10k = dir.directory_bytes();
+        // Re-touching the same pages (any amount of traffic over the same
+        // footprint) allocates nothing.
+        for round in 0..5 {
+            for lpn in 0..10_000u64 {
+                dir.touch(lpn);
+                dir.bump_heat(lpn);
+                let _ = dir.place(lpn, DeviceId(((lpn + round) % 2) as usize));
+            }
+        }
+        assert_eq!(
+            dir.directory_bytes(),
+            at_10k,
+            "traffic over a fixed footprint must not grow the directory"
+        );
+        // The compact layout stays under 80 bytes/page even with the
+        // open-addressing index's load-factor headroom and Vec doubling
+        // slack (40-byte entries × up-to-2× capacity) — the old
+        // HashMap + BTreeMap-per-page layout was 130+ before allocator
+        // overhead.
+        assert!(
+            at_10k < 10_000 * 80,
+            "directory too fat: {} bytes for 10k pages",
+            at_10k
+        );
     }
 
     #[test]

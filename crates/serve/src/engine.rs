@@ -142,12 +142,52 @@ pub fn shard_of(lpn: u64, shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
-/// Serves a whole trace through the sharded engine and collects per-shard
-/// reports.
+/// Serves a whole materialized trace through the sharded engine.
 ///
-/// The caller thread acts as the router: it walks the trace in timestamp
-/// order, compresses timestamps by [`ServeConfig::time_scale`], and sends
-/// each request over a channel to the shard selected by [`shard_of`].
+/// Thin wrapper over [`serve_stream`] — the trace's requests are fed
+/// straight from the slice, so existing call sites keep their exact
+/// behavior (bit-identical reports) while the engine itself is
+/// stream-fed. For production-sized runs, hand [`serve_stream`] an
+/// infinite generator (e.g. [`sibyl_trace::stream::SpecStream`]) bounded
+/// with `.take(n)` instead of materializing a `Vec` of requests.
+///
+/// # Errors
+///
+/// Returns [`ServeError::EmptyTrace`] for an empty trace, or whatever
+/// [`serve_stream`] returns.
+///
+/// # Panics
+///
+/// Panics if the embedded [`SibylConfig`](sibyl_core::SibylConfig) is
+/// invalid.
+pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, ServeError> {
+    serve_stream(config, trace.iter().copied())
+}
+
+/// Serves a finite request stream through the sharded engine and collects
+/// per-shard reports — without ever materializing the workload.
+///
+/// This is the engine's real entry point ([`serve_trace`] delegates
+/// here). The stream is consumed twice: a *footprint pre-pass* over a
+/// clone computes each shard's unique-page count (so fraction-mode
+/// capacities resolve against exactly the data that shard will hold,
+/// identically to the materialized path), then the *routing pass* feeds
+/// requests one at a time into the shard queues. Peak router memory is
+/// therefore bounded by the workload's footprint (the pre-pass page
+/// sets) plus the bounded queues — never by the trace length — which is
+/// what makes 10M-request runs practical: a seeded generator stream
+/// costs O(footprint) memory where a materialized `Trace` costs 24 bytes
+/// per request.
+///
+/// The stream must be **finite** (bound an infinite generator with
+/// `.take(n)`) and `Clone` must replay the identical sequence — true for
+/// every seeded [`sibyl_trace::stream::RequestStream`] and for slice
+/// iterators.
+///
+/// The caller thread acts as the router: it walks the stream in
+/// timestamp order, compresses timestamps by [`ServeConfig::time_scale`],
+/// and sends each request over a channel to the shard selected by
+/// [`shard_of`].
 /// Each worker shard owns a private [`StorageManager`] + [`SibylAgent`]
 /// pair and repeatedly blocks until it has accumulated
 /// [`ServeConfig::max_batch`] requests (or the trace is exhausted),
@@ -203,8 +243,8 @@ pub fn shard_of(lpn: u64, shards: usize) -> usize {
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::EmptyTrace`] for an empty trace, the
-/// configuration's first violated constraint (see
+/// Returns [`ServeError::EmptyTrace`] for a stream that yields no
+/// requests, the configuration's first violated constraint (see
 /// [`ServeConfig::validate`]), or [`ServeError::SpawnFailed`] when the
 /// OS refuses a worker thread.
 ///
@@ -212,20 +252,27 @@ pub fn shard_of(lpn: u64, shards: usize) -> usize {
 ///
 /// Panics if the embedded [`SibylConfig`](sibyl_core::SibylConfig) is
 /// invalid.
-pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, ServeError> {
+pub fn serve_stream<S>(config: &ServeConfig, stream: S) -> Result<ServeReport, ServeError>
+where
+    S: Iterator<Item = IoRequest> + Clone,
+{
     config.validate()?;
-    if trace.is_empty() {
-        return Err(ServeError::EmptyTrace);
-    }
 
-    // Pre-compute each shard's footprint so fraction-mode capacities
-    // resolve against the data that shard will actually hold. Sets keep
-    // this O(unique pages), not O(total request pages).
+    // Footprint pre-pass over a clone of the stream, so fraction-mode
+    // capacities resolve against the data each shard will actually hold
+    // — the same per-shard footprints the materialized path computes.
+    // Sets keep this O(unique pages), not O(total request pages): the
+    // one regeneration pass buys footprint-bounded memory for the run.
     let mut shard_pages: Vec<std::collections::HashSet<u64>> =
         vec![std::collections::HashSet::new(); config.shards];
-    for req in trace.iter() {
+    let mut total_requests = 0u64;
+    for req in stream.clone() {
         let s = shard_of(req.lpn, config.shards);
         shard_pages[s].extend(req.pages());
+        total_requests += 1;
+    }
+    if total_requests == 0 {
+        return Err(ServeError::EmptyTrace);
     }
     let footprints: Vec<u64> = shard_pages.iter().map(|pages| pages.len() as u64).collect();
     drop(shard_pages);
@@ -286,12 +333,12 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
 
     // Route. Bounded channels (independent runs) give backpressure: the
     // router stalls when a shard's queue is full instead of buffering the
-    // whole trace. A send can only fail when the receiving worker died
+    // whole stream. A send can only fail when the receiving worker died
     // (dropped its receiver by panicking); stop routing and surface that
     // as an error rather than panicking the router.
     let mut dead_shard: Option<usize> = None;
-    for req in trace.iter() {
-        let mut routed = *req;
+    for req in stream {
+        let mut routed = req;
         if config.time_scale != 1.0 {
             routed.timestamp_us = (req.timestamp_us as f64 / config.time_scale) as u64;
         }
@@ -301,7 +348,7 @@ pub fn serve_trace(config: &ServeConfig, trace: &Trace) -> Result<ServeReport, S
             break;
         }
     }
-    drop(senders); // end-of-trace (or abort): workers drain and exit
+    drop(senders); // end-of-stream (or abort): workers drain and exit
 
     let mut shards: Vec<ShardReport> = Vec::with_capacity(workers.len());
     let mut shard_telemetry: Vec<ShardTelemetry> = Vec::new();
@@ -621,6 +668,14 @@ fn run_shard(task: ShardTask) -> (ShardReport, Option<ShardTelemetry>) {
         if let Some(registry) = agent.take_telemetry() {
             sink.registry_mut().absorb(registry);
         }
+        // Directory footprint at teardown: the compact directory is
+        // append-only (pages move devices but are never forgotten), so
+        // the final size is the run's peak. Gauges merge by max, so the
+        // cross-shard report shows the largest shard's directory.
+        sink.registry_mut()
+            .gauge_set("dir.bytes", manager.directory().directory_bytes() as f64);
+        sink.registry_mut()
+            .gauge_set("dir.pages", manager.directory().len() as f64);
         manager.stats().record_registry(sink.registry_mut());
         if let Some(m) = &migrator {
             m.stats().record_registry(sink.registry_mut());
@@ -637,6 +692,8 @@ fn run_shard(task: ShardTask) -> (ShardReport, Option<ShardTelemetry>) {
         shard: task.shard,
         requests,
         batches,
+        directory_bytes: manager.directory().directory_bytes() as u64,
+        directory_pages: manager.directory().len() as u64,
         coop_syncs,
         nn_busy_us,
         train_busy_us,
@@ -771,6 +828,50 @@ mod tests {
         assert_eq!(
             ServeError::EmptyTrace.to_string(),
             "trace contains no requests"
+        );
+    }
+
+    #[test]
+    fn streamed_run_is_bit_identical_to_vec_fed_run() {
+        // Satellite of the scale work: feeding the engine from the seeded
+        // generator stream must reproduce the materialized golden Mix2
+        // run exactly — same shard reports, same placement decisions —
+        // because the stream's prefix is bit-identical to the Vec and the
+        // router is the same loop either way.
+        let n = 600;
+        let trace = mix::Mix::Mix2.generate(n, 7);
+        let cfg = config(4, 8);
+        let vec_fed = serve_trace(&cfg, &trace).unwrap();
+        let streamed = serve_stream(&cfg, mix::Mix::Mix2.stream(n, 7).take(trace.len())).unwrap();
+        assert_eq!(vec_fed, streamed);
+        // And a materialized trace adapts into the stream path unchanged.
+        let adapted = serve_stream(&cfg, trace.clone().into_stream()).unwrap();
+        assert_eq!(vec_fed, adapted);
+    }
+
+    #[test]
+    fn streamed_runs_scale_directory_with_footprint_not_length() {
+        // Serving the same infinite stream for 4x the requests must not
+        // grow the directory 4x: pages repeat, the directory tracks the
+        // footprint. (The wider sweep lives in the sec14_scale bench.)
+        let cfg = config(2, 8);
+        let short = serve_stream(&cfg, mix::Mix::Mix2.stream(400, 7).take(800)).unwrap();
+        let long = serve_stream(&cfg, mix::Mix::Mix2.stream(400, 7).take(3_200)).unwrap();
+        assert_eq!(long.total_requests(), 4 * short.total_requests());
+        assert!(short.peak_directory_bytes() > 0);
+        assert!(
+            long.total_directory_bytes() < 3 * short.total_directory_bytes(),
+            "directory must be footprint-bounded: short {} bytes, long {} bytes",
+            short.total_directory_bytes(),
+            long.total_directory_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert_eq!(
+            serve_stream(&config(2, 8), std::iter::empty()),
+            Err(ServeError::EmptyTrace)
         );
     }
 

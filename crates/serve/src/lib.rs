@@ -80,7 +80,7 @@ mod engine;
 mod report;
 
 pub use config::{DecideCost, ServeConfig};
-pub use engine::{serve_trace, shard_of, ServeError, REGION_BITS};
+pub use engine::{serve_stream, serve_trace, shard_of, ServeError, REGION_BITS};
 pub use report::{Aggregate, CurvePoint, ServeReport, ShardReport};
 
 // Re-exported so engine users can configure cooperation, background

@@ -39,6 +39,16 @@ pub struct ShardReport {
     pub requests: u64,
     /// Batched-inference rounds the shard executed.
     pub batches: u64,
+    /// Resident bytes of the shard's compact page directory at the end of
+    /// the run. The directory is append-only (pages move between devices
+    /// but are never forgotten), so this is also the run's peak — and it
+    /// scales with the shard's unique-page *footprint*, not the number of
+    /// requests served, which is the invariant the `sec14_scale` bench
+    /// pins for 10M-request streamed runs.
+    pub directory_bytes: u64,
+    /// Distinct logical pages the shard's directory tracks (ever placed
+    /// on any device).
+    pub directory_pages: u64,
     /// Cooperative sync rounds this shard participated in (0 in
     /// [`CoopMode::Independent`](sibyl_coop::CoopMode)).
     pub coop_syncs: u64,
@@ -122,6 +132,27 @@ impl ServeReport {
         self.shards.iter().map(|s| s.requests).sum()
     }
 
+    /// The largest single shard's resident directory bytes — the run's
+    /// peak per-shard metadata footprint (each shard's directory already
+    /// reports its own peak; see [`ShardReport::directory_bytes`]).
+    pub fn peak_directory_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.directory_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total resident directory bytes across all shards.
+    pub fn total_directory_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.directory_bytes).sum()
+    }
+
+    /// Total distinct pages tracked across all shards' directories.
+    pub fn total_directory_pages(&self) -> u64 {
+        self.shards.iter().map(|s| s.directory_pages).sum()
+    }
+
     /// Folds the per-shard statistics into aggregate metrics.
     pub fn aggregate(&self) -> Aggregate {
         let mut total_requests = 0u64;
@@ -186,6 +217,8 @@ mod tests {
             shard,
             requests,
             batches: requests.div_ceil(8),
+            directory_bytes: 0,
+            directory_pages: 0,
             coop_syncs: 0,
             nn_busy_us: 0.0,
             train_busy_us: 0.0,

@@ -1,8 +1,10 @@
 //! The sharded-serving experiment driver: trace × serving configuration
 //! → per-shard and aggregate metrics.
 
-use sibyl_serve::{serve_trace, Aggregate, ServeConfig, ServeReport, TelemetryReport};
-use sibyl_trace::Trace;
+use sibyl_serve::{
+    serve_stream, serve_trace, Aggregate, ServeConfig, ServeReport, TelemetryReport,
+};
+use sibyl_trace::{IoRequest, Trace};
 
 use crate::experiment::SimError;
 use crate::metrics::Metrics;
@@ -21,6 +23,21 @@ pub struct ServeOutcome {
 }
 
 impl ServeOutcome {
+    /// Lifts an engine report into the paper's metric vocabulary.
+    fn from_report(report: ServeReport) -> Self {
+        let shard_metrics = report
+            .shards
+            .iter()
+            .map(|s| Metrics::from_stats(&s.stats))
+            .collect();
+        let aggregate = report.aggregate();
+        ServeOutcome {
+            shard_metrics,
+            aggregate,
+            report,
+        }
+    }
+
     /// The run's merged-and-per-shard telemetry export as deterministic
     /// JSONL (one JSON object per line; `measured.*` wall-clock entries
     /// are excluded, so two identically-seeded runs export byte-identical
@@ -100,17 +117,24 @@ impl ServeExperiment {
     /// Returns [`SimError::EmptyTrace`] for an empty trace.
     pub fn run(&self) -> Result<ServeOutcome, SimError> {
         let report = serve_trace(&self.config, &self.trace).map_err(SimError::from)?;
-        let shard_metrics = report
-            .shards
-            .iter()
-            .map(|s| Metrics::from_stats(&s.stats))
-            .collect();
-        let aggregate = report.aggregate();
-        Ok(ServeOutcome {
-            shard_metrics,
-            aggregate,
-            report,
-        })
+        Ok(ServeOutcome::from_report(report))
+    }
+
+    /// Runs the sharded engine over a finite request stream without ever
+    /// materializing it — the scale path for 10M-request runs. Bound an
+    /// infinite generator stream with `.take(n)`; see
+    /// [`sibyl_serve::serve_stream`] for the footprint pre-pass and the
+    /// memory bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyTrace`] for a stream yielding no requests.
+    pub fn run_stream<S>(config: &ServeConfig, stream: S) -> Result<ServeOutcome, SimError>
+    where
+        S: Iterator<Item = IoRequest> + Clone,
+    {
+        let report = serve_stream(config, stream).map_err(SimError::from)?;
+        Ok(ServeOutcome::from_report(report))
     }
 }
 
@@ -179,5 +203,23 @@ mod tests {
     fn empty_trace_maps_to_sim_error() {
         let exp = ServeExperiment::new(config(2), Trace::from_requests("e", vec![]));
         assert!(matches!(exp.run(), Err(SimError::EmptyTrace)));
+        assert!(matches!(
+            ServeExperiment::run_stream(&config(2), std::iter::empty()),
+            Err(SimError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn streamed_experiment_matches_materialized_run() {
+        let cfg = config(2);
+        let n = 900;
+        let seed = 11;
+        let trace = msrc::generate(msrc::Workload::Prxy1, n, seed);
+        let vec_fed = ServeExperiment::new(cfg.clone(), trace).run().unwrap();
+        let streamed =
+            ServeExperiment::run_stream(&cfg, msrc::stream(msrc::Workload::Prxy1, n, seed).take(n))
+                .unwrap();
+        assert_eq!(vec_fed.report, streamed.report);
+        assert_eq!(vec_fed.aggregate, streamed.aggregate);
     }
 }

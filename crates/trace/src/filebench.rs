@@ -40,6 +40,15 @@ impl Unseen {
         Unseen::Varmail,
     ];
 
+    /// Every unseen workload, including YCSB-C.
+    pub const ALL: [Unseen; 5] = [
+        Unseen::Fileserver,
+        Unseen::NtrxRw,
+        Unseen::OltpRw,
+        Unseen::Varmail,
+        Unseen::YcsbC,
+    ];
+
     /// The workload's display name.
     pub fn name(self) -> &'static str {
         self.spec().name
@@ -124,6 +133,20 @@ impl std::fmt::Display for Unseen {
 pub fn generate(workload: Unseen, n: usize, seed: u64) -> Trace {
     generate_spec(
         &workload.spec(),
+        n,
+        seed.wrapping_add(0x0F11E * (workload as u64 + 1)),
+    )
+}
+
+/// The streaming counterpart of [`generate`]: an infinite stream whose
+/// first `n` requests are bit-identical to `generate(workload, n, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn stream(workload: Unseen, n: usize, seed: u64) -> crate::stream::SpecStream {
+    crate::stream::SpecStream::new(
+        workload.spec(),
         n,
         seed.wrapping_add(0x0F11E * (workload as u64 + 1)),
     )

@@ -39,9 +39,11 @@ pub mod mix;
 pub mod msrc;
 mod request;
 pub mod stats;
+pub mod stream;
 pub mod synth;
 mod trace;
 pub mod zipf;
 
-pub use request::{IoOp, IoRequest, PAGE_SIZE_BYTES};
+pub use request::{IoOp, IoRequest, MAX_REQUEST_PAGES, PAGE_SIZE_BYTES};
+pub use stream::RequestStream;
 pub use trace::Trace;

@@ -149,6 +149,25 @@ impl Mix {
             .collect();
         combine(self.name(), &components, seed)
     }
+
+    /// The streaming counterpart of [`Mix::generate`]: an infinite
+    /// [`MixStream`](crate::stream::MixStream) whose first
+    /// `components × n_per_component` requests are bit-identical to the
+    /// materialized mix (same per-component seed derivation, offset
+    /// draws, and region layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_per_component == 0`.
+    pub fn stream(self, n_per_component: usize, seed: u64) -> crate::stream::MixStream {
+        let components: Vec<crate::stream::SpecStream> = self
+            .components()
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.stream(n_per_component, seed.wrapping_add(i as u64 * 101)))
+            .collect();
+        crate::stream::MixStream::new(self.name(), components, seed)
+    }
 }
 
 impl std::fmt::Display for Mix {
@@ -180,6 +199,15 @@ impl Component {
         match self {
             Component::Msrc(w) => msrc::generate(w, n, seed),
             Component::Unseen(u) => filebench::generate(u, n, seed),
+        }
+    }
+
+    /// The streaming counterpart of [`Component::generate`]: horizon-`n`
+    /// prefix bit-identical to the materialized component trace.
+    pub fn stream(self, n: usize, seed: u64) -> crate::stream::SpecStream {
+        match self {
+            Component::Msrc(w) => msrc::stream(w, n, seed),
+            Component::Unseen(u) => filebench::stream(u, n, seed),
         }
     }
 }

@@ -162,6 +162,24 @@ pub fn generate(workload: Workload, n: usize, seed: u64) -> Trace {
     generate_spec(&workload.spec(), n, seed.wrapping_add(workload as u64))
 }
 
+/// The streaming counterpart of [`generate`]: an infinite stream whose
+/// first `n` requests are bit-identical to `generate(workload, n, seed)`.
+///
+/// # Examples
+///
+/// ```
+/// use sibyl_trace::{msrc, RequestStream};
+/// let mut s = msrc::stream(msrc::Workload::Prxy0, 5_000, 1);
+/// assert_eq!(s.collect_trace(5_000), msrc::generate(msrc::Workload::Prxy0, 5_000, 1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn stream(workload: Workload, n: usize, seed: u64) -> crate::stream::SpecStream {
+    crate::stream::SpecStream::new(workload.spec(), n, seed.wrapping_add(workload as u64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,6 +6,12 @@ use serde::{Deserialize, Serialize};
 /// granularity (§2.1, §10.2).
 pub const PAGE_SIZE_BYTES: u64 = 4096;
 
+/// Largest `size_pages` a request may carry: the trace binary codec
+/// stores the field in 3 bytes (see [`crate::Trace::to_bytes`]), so the
+/// in-memory bound matches the wire bound — 2^24 − 1 pages (64 GiB per
+/// request), far beyond any real block request.
+pub const MAX_REQUEST_PAGES: u32 = (1 << 24) - 1;
+
 /// Direction of a storage request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum IoOp {
@@ -63,15 +69,42 @@ impl IoRequest {
     ///
     /// # Panics
     ///
-    /// Panics if `size_pages` is zero.
+    /// Panics if `size_pages` is zero or exceeds [`MAX_REQUEST_PAGES`]
+    /// (the binary codec's 3-byte wire bound), or if the covered LBA
+    /// range `lpn ..= lpn + size_pages - 1` would wrap past `u64::MAX`
+    /// (which would make [`IoRequest::pages`] and address-space math
+    /// overflow).
     pub fn new(timestamp_us: u64, lpn: u64, size_pages: u32, op: IoOp) -> Self {
-        assert!(size_pages > 0, "IoRequest: size_pages must be >= 1");
-        IoRequest {
+        match Self::checked(timestamp_us, lpn, size_pages, op) {
+            Some(req) => req,
+            None => {
+                assert!(size_pages > 0, "IoRequest: size_pages must be >= 1");
+                assert!(
+                    size_pages <= MAX_REQUEST_PAGES,
+                    "IoRequest: size_pages must be <= {MAX_REQUEST_PAGES}"
+                );
+                panic!("IoRequest: lpn range {lpn} + {size_pages} pages wraps past u64::MAX");
+            }
+        }
+    }
+
+    /// Creates a request, returning `None` instead of panicking when the
+    /// fields violate the invariants of [`IoRequest::new`] — the
+    /// non-panicking entry point for untrusted input such as
+    /// [`crate::Trace::from_bytes`].
+    pub fn checked(timestamp_us: u64, lpn: u64, size_pages: u32, op: IoOp) -> Option<Self> {
+        if size_pages == 0 || size_pages > MAX_REQUEST_PAGES {
+            return None;
+        }
+        // The last covered page (and the address-space size, which is
+        // last_lpn() + 1) must fit in u64.
+        lpn.checked_add(size_pages as u64)?;
+        Some(IoRequest {
             timestamp_us,
             lpn,
             size_pages,
             op,
-        }
+        })
     }
 
     /// Request size in bytes.
@@ -84,7 +117,9 @@ impl IoRequest {
         self.size_bytes() as f64 / 1024.0
     }
 
-    /// The last logical page number covered.
+    /// The last logical page number covered. Never wraps: construction
+    /// guarantees `lpn + size_pages` fits in `u64` (so the address-space
+    /// size `last_lpn() + 1` fits too).
     pub fn last_lpn(&self) -> u64 {
         self.lpn + self.size_pages as u64 - 1
     }
@@ -117,6 +152,43 @@ mod tests {
     #[should_panic(expected = "size_pages must be >= 1")]
     fn zero_size_rejected() {
         let _ = IoRequest::new(0, 0, 0, IoOp::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "size_pages must be <=")]
+    fn oversized_request_rejected() {
+        let _ = IoRequest::new(0, 0, MAX_REQUEST_PAGES + 1, IoOp::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps past u64::MAX")]
+    fn lpn_range_wraparound_rejected() {
+        // lpn + size - 1 would wrap: pages() would be an empty range and
+        // address_space_pages() would overflow.
+        let _ = IoRequest::new(0, u64::MAX - 2, 4, IoOp::Write);
+    }
+
+    #[test]
+    fn checked_matches_new_on_the_boundaries() {
+        assert!(IoRequest::checked(0, 0, 0, IoOp::Read).is_none());
+        assert!(IoRequest::checked(0, 0, MAX_REQUEST_PAGES + 1, IoOp::Read).is_none());
+        assert!(IoRequest::checked(0, u64::MAX, 1, IoOp::Read).is_none());
+        // The largest representable request: ends exactly at u64::MAX - 1,
+        // so last_lpn() + 1 still fits.
+        let r = IoRequest::checked(
+            0,
+            u64::MAX - u64::from(MAX_REQUEST_PAGES),
+            MAX_REQUEST_PAGES,
+            IoOp::Write,
+        )
+        .expect("maximal request is valid");
+        assert_eq!(r.last_lpn(), u64::MAX - 1);
+        assert_eq!(r.pages().count() as u32, MAX_REQUEST_PAGES);
+        let max = IoRequest::new(7, 9, MAX_REQUEST_PAGES, IoOp::Read);
+        assert_eq!(
+            IoRequest::checked(7, 9, MAX_REQUEST_PAGES, IoOp::Read),
+            Some(max)
+        );
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! Streaming trace API: seeded, infinite request streams whose finite
+//! prefixes are **bit-identical** to the materialized generators they
+//! replace.
+//!
+//! Everything in this crate used to hand the driver a fully materialized
+//! [`Trace`] (`Vec<IoRequest>`, 24 bytes per request — 240 MB for a
+//! 10M-request run). A [`RequestStream`] produces the same requests one
+//! at a time with O(1) memory per request, so production-sized runs are
+//! bounded by the workload's *footprint*, not its *length*:
+//!
+//! - [`SpecStream`] streams any [`SyntheticSpec`] (the engine behind
+//!   [`crate::msrc`] and [`crate::filebench`]); its first `n` requests
+//!   equal [`generate_spec`](crate::synth::generate_spec)`(spec, n, seed)`
+//!   exactly, then it keeps going with freshly seeded horizon-length
+//!   chunks whose timestamps continue monotonically.
+//! - [`DiurnalStream`] streams [`crate::synth::diurnal`]; beyond the
+//!   horizon the hot set simply keeps rotating every phase.
+//! - [`MixStream`] streams [`crate::mix::combine`]-style mixes; its first
+//!   `Σ horizonᵢ` requests equal the materialized mix exactly.
+//! - [`TraceStream`] adapts an existing [`Trace`] (via
+//!   [`Trace::into_stream`]) so stream-accepting drivers serve
+//!   materialized traces unchanged.
+//!
+//! The prefix-equivalence contract is pinned by proptests in this module
+//! and relied on by the serving layer's golden bit-identity tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::request::{IoOp, IoRequest};
+use crate::synth::{
+    self, OpAccess, RawGen, SyntheticSpec, DIURNAL_COLD_BASE, DIURNAL_COLD_SPAN_PAGES,
+    DIURNAL_HOT_PAGES_PER_REGION, DIURNAL_HOT_REGIONS, SEGMENT_PAGES,
+};
+use crate::trace::Trace;
+use crate::zipf::Zipf;
+
+/// A (usually infinite) source of [`IoRequest`]s.
+///
+/// Implementors guarantee that [`collect_trace`](RequestStream::collect_trace)
+/// of the stream's horizon is bit-identical to the materialized generator
+/// the stream replaces — the contract that lets every existing call site
+/// switch to streaming without perturbing a single placement decision.
+pub trait RequestStream: Iterator<Item = IoRequest> {
+    /// The name materialized traces carry (e.g. `"hm_1"`, `"mix2"`).
+    fn name(&self) -> &str;
+
+    /// Materializes the next `n` requests (fewer if the stream ends) as a
+    /// [`Trace`] named after the stream.
+    fn collect_trace(&mut self, n: usize) -> Trace
+    where
+        Self: Sized,
+    {
+        let name = self.name().to_string();
+        let mut requests = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.next() {
+                Some(r) => requests.push(r),
+                None => break,
+            }
+        }
+        Trace::from_requests(name, requests)
+    }
+}
+
+/// A stream over a materialized [`Trace`]'s requests, created by
+/// [`Trace::into_stream`]. Finite: ends when the trace does.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    name: String,
+    requests: std::vec::IntoIter<IoRequest>,
+}
+
+impl TraceStream {
+    pub(crate) fn new(name: String, requests: Vec<IoRequest>) -> Self {
+        TraceStream {
+            name,
+            requests: requests.into_iter(),
+        }
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        self.requests.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.requests.size_hint()
+    }
+}
+
+impl RequestStream for TraceStream {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Packed one-bit-per-request op store for the streaming rebalance pass:
+/// a 10M-request chunk's ops fit in 1.25 MB instead of 240 MB of
+/// materialized requests.
+#[derive(Debug, Clone)]
+struct OpBits {
+    bits: Vec<u64>,
+}
+
+impl OpBits {
+    fn new(n: usize) -> Self {
+        OpBits {
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+}
+
+impl synth::OpAccess for OpBits {
+    fn is_write(&self, i: usize) -> bool {
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn set_write(&mut self, i: usize, write: bool) {
+        if write {
+            self.bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+}
+
+/// Per-chunk seed stride (the same golden-ratio constant the serving
+/// layer uses for shard seeds).
+const CHUNK_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// An infinite stream over a [`SyntheticSpec`], horizon-parameterized:
+/// the first `horizon` requests are bit-identical to
+/// [`generate_spec`](crate::synth::generate_spec)`(spec, horizon, seed)`.
+///
+/// Generation works in horizon-length chunks. Each chunk runs the shared
+/// `RawGen` state machine twice: pass A records only the op bits and
+/// applies the write-fraction rebalance to them (the rebalance is a
+/// whole-chunk RNG post-pass, so it cannot be computed item-by-item);
+/// pass B re-runs the identical RNG sequence and emits requests with the
+/// rebalanced ops substituted. Memory per chunk is one bit per request.
+/// Chunks after the first draw a derived seed and continue the timestamp
+/// clock from the previous chunk's end, so the stream is monotone in time
+/// and statistically stationary forever.
+#[derive(Debug, Clone)]
+pub struct SpecStream {
+    spec: SyntheticSpec,
+    horizon: usize,
+    footprint_pages: u64,
+    base_seed: u64,
+    chunk_index: u64,
+    ts_base: u64,
+    last_ts: u64,
+    gen: RawGen,
+    ops: OpBits,
+    pos: usize,
+}
+
+impl SpecStream {
+    /// Sets up a stream whose first `horizon` requests reproduce
+    /// `generate_spec(&spec, horizon, seed)` bit-for-bit (including the
+    /// footprint-calibration probe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`SyntheticSpec::validate`]) or
+    /// `horizon == 0`.
+    pub fn new(spec: SyntheticSpec, horizon: usize, seed: u64) -> Self {
+        spec.validate();
+        assert!(horizon > 0, "SpecStream: horizon must be positive");
+        let footprint_pages = synth::calibrated_footprint(&spec, horizon, seed);
+        let (gen, ops) = Self::build_chunk(&spec, horizon, footprint_pages, seed);
+        SpecStream {
+            spec,
+            horizon,
+            footprint_pages,
+            base_seed: seed,
+            chunk_index: 0,
+            ts_base: 0,
+            last_ts: 0,
+            gen,
+            ops,
+            pos: 0,
+        }
+    }
+
+    /// The stream's horizon: the prefix length that matches the
+    /// materialized generator.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Pass A + rebalance for one chunk: returns a fresh pass-B generator
+    /// and the chunk's final op bits.
+    fn build_chunk(
+        spec: &SyntheticSpec,
+        horizon: usize,
+        footprint_pages: u64,
+        chunk_seed: u64,
+    ) -> (RawGen, OpBits) {
+        let mut gen = RawGen::new(spec, horizon, chunk_seed, footprint_pages);
+        let mut ops = OpBits::new(horizon);
+        for i in 0..horizon {
+            let r = gen.next_request();
+            ops.set_write(i, r.op.is_write());
+        }
+        // Same algorithm, same RNG state as the materialized path's
+        // rebalance — only the backing store differs.
+        synth::rebalance_ops_on(&mut ops, horizon, spec.write_fraction, gen.rng_mut());
+        (RawGen::new(spec, horizon, chunk_seed, footprint_pages), ops)
+    }
+
+    /// Draws the next request (infallible: the stream is infinite).
+    pub(crate) fn next_request(&mut self) -> IoRequest {
+        use synth::OpAccess;
+        if self.pos == self.horizon {
+            self.chunk_index += 1;
+            let chunk_seed = self
+                .base_seed
+                .wrapping_add(self.chunk_index.wrapping_mul(CHUNK_SEED_STRIDE));
+            let (gen, ops) =
+                Self::build_chunk(&self.spec, self.horizon, self.footprint_pages, chunk_seed);
+            self.gen = gen;
+            self.ops = ops;
+            self.pos = 0;
+            // Continue the clock: chunk timestamps are relative gaps.
+            self.ts_base = self.last_ts;
+        }
+        let raw = self.gen.next_request();
+        let op = if self.ops.is_write(self.pos) {
+            IoOp::Write
+        } else {
+            IoOp::Read
+        };
+        self.pos += 1;
+        let ts = raw.timestamp_us + self.ts_base;
+        self.last_ts = ts;
+        IoRequest::new(ts, raw.lpn, raw.size_pages, op)
+    }
+}
+
+impl Iterator for SpecStream {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        Some(self.next_request())
+    }
+}
+
+impl RequestStream for SpecStream {
+    fn name(&self) -> &str {
+        self.spec.name
+    }
+}
+
+/// An infinite stream over the phase-shifting workload of
+/// [`crate::synth::diurnal`]: the first `n` requests (for the `n` passed
+/// at construction) are bit-identical to `diurnal(n, phases, seed)`, and
+/// beyond them the hot set keeps rotating to a fresh disjoint span every
+/// `n.div_ceil(phases)` requests while the cold area stays fixed — so the
+/// touched-page footprint grows only with *phases passed*, not with
+/// requests served, which is what makes this the `sec14_scale` workload.
+#[derive(Debug, Clone)]
+pub struct DiurnalStream {
+    rng: StdRng,
+    zipf: Zipf,
+    phase_len: usize,
+    i: usize,
+    cold_cursor: u64,
+}
+
+impl DiurnalStream {
+    /// Sets up the stream; `n` and `phases` fix the phase length
+    /// `n.div_ceil(phases)` exactly as the materialized generator does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `phases == 0`.
+    pub fn new(n: usize, phases: usize, seed: u64) -> Self {
+        assert!(n > 0, "diurnal: n must be positive");
+        assert!(phases > 0, "diurnal: phases must be positive");
+        DiurnalStream {
+            rng: StdRng::seed_from_u64(seed ^ 0x00D1_0BA1_u64 ^ 0x5EC1_3000),
+            zipf: Zipf::new(DIURNAL_HOT_REGIONS as usize, 0.6),
+            phase_len: n.div_ceil(phases),
+            i: 0,
+            cold_cursor: 0,
+        }
+    }
+
+    /// Draws the next request (infallible: the stream is infinite).
+    pub(crate) fn next_request(&mut self) -> IoRequest {
+        let i = self.i;
+        self.i += 1;
+        let phase = (i / self.phase_len) as u64;
+        let ts = i as u64 * 300;
+        if self.rng.gen::<f64>() < 0.70 {
+            // Hot: this phase's private region block.
+            let region = phase * DIURNAL_HOT_REGIONS + self.zipf.sample(&mut self.rng) as u64;
+            let page = region * SEGMENT_PAGES + self.rng.gen_range(0..DIURNAL_HOT_PAGES_PER_REGION);
+            let op = if self.rng.gen::<f64>() < 0.10 {
+                IoOp::Write
+            } else {
+                IoOp::Read
+            };
+            IoRequest::new(ts, page, 1, op)
+        } else {
+            // Cold: an 8-page streaming read over a large area.
+            let lpn = DIURNAL_COLD_BASE + (self.cold_cursor * 8) % DIURNAL_COLD_SPAN_PAGES;
+            self.cold_cursor += 1;
+            IoRequest::new(ts, lpn, 8, IoOp::Read)
+        }
+    }
+}
+
+impl Iterator for DiurnalStream {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        Some(self.next_request())
+    }
+}
+
+impl RequestStream for DiurnalStream {
+    fn name(&self) -> &str {
+        "diurnal"
+    }
+}
+
+/// One component of a [`MixStream`]: a spec stream plus its time offset
+/// and private address region.
+#[derive(Debug, Clone)]
+struct MixComponent {
+    stream: SpecStream,
+    offset_us: u64,
+    region_base: u64,
+    /// Requests this component may still contribute to the current
+    /// horizon-generation window.
+    quota_left: usize,
+    /// The next remapped request, drawn but not yet merged.
+    peeked: Option<IoRequest>,
+}
+
+/// An infinite stream over a workload mix, the streaming counterpart of
+/// [`crate::mix::combine`]: each component is shifted by the same seeded
+/// start offset and remapped into the same private address region as the
+/// materialized combiner, then the components are merged by timestamp
+/// (ties to the lower component index — exactly the order a stable sort
+/// of the concatenation produces). The first `Σ horizonᵢ` requests are
+/// bit-identical to the materialized mix.
+///
+/// Beyond that prefix the merge continues generation by generation (each
+/// component contributes its next horizon-length window); timestamps are
+/// monotone within a generation but may step back by up to the
+/// components' end-time spread at a generation boundary.
+#[derive(Debug, Clone)]
+pub struct MixStream {
+    name: String,
+    components: Vec<MixComponent>,
+}
+
+impl MixStream {
+    /// Builds the stream from per-component spec streams, replicating
+    /// [`crate::mix::combine`]'s offset draws and region layout (the
+    /// component metadata — horizon duration and address-space size — is
+    /// computed by running a clone of each stream over its horizon, so
+    /// nothing is materialized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn new(name: impl Into<String>, components: Vec<SpecStream>, seed: u64) -> Self {
+        assert!(
+            !components.is_empty(),
+            "mix::combine: need at least one component"
+        );
+        // Metadata pass: each component's horizon duration_us and
+        // address_space_pages, exactly as the materialized component
+        // trace would report them.
+        let metas: Vec<(u64, u64)> = components
+            .iter()
+            .map(|c| {
+                let mut probe = c.clone();
+                let mut first_ts = 0u64;
+                let mut last_ts = 0u64;
+                let mut max_last_lpn = 0u64;
+                for i in 0..c.horizon() {
+                    let r = probe.next_request();
+                    if i == 0 {
+                        first_ts = r.timestamp_us;
+                    }
+                    last_ts = r.timestamp_us;
+                    max_last_lpn = max_last_lpn.max(r.last_lpn());
+                }
+                (last_ts - first_ts, max_last_lpn + 1)
+            })
+            .collect();
+        let max_duration = metas.iter().map(|m| m.0).max().unwrap_or(0);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4d49_5845_u64); // "MIXE"
+        let mut region_base = 0u64;
+        let mut comps = Vec::with_capacity(components.len());
+        for (stream, (_, address_space)) in components.into_iter().zip(metas) {
+            let offset_us = if max_duration > 0 {
+                rng.gen_range(0..=max_duration / 2)
+            } else {
+                0
+            };
+            let quota_left = stream.horizon();
+            comps.push(MixComponent {
+                stream,
+                offset_us,
+                region_base,
+                quota_left,
+                peeked: None,
+            });
+            // Disjoint regions with headroom for each component's growth.
+            region_base += address_space + 1024;
+        }
+        MixStream {
+            name: name.into(),
+            components: comps,
+        }
+    }
+}
+
+impl Iterator for MixStream {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        // A generation window closed: every component starts the next one.
+        if self
+            .components
+            .iter()
+            .all(|c| c.quota_left == 0 && c.peeked.is_none())
+        {
+            for c in &mut self.components {
+                c.quota_left = c.stream.horizon();
+            }
+        }
+        // Fill the merge heads, remapping like `combine` does.
+        for c in &mut self.components {
+            if c.peeked.is_none() && c.quota_left > 0 {
+                let r = c.stream.next_request();
+                c.quota_left -= 1;
+                c.peeked = Some(IoRequest {
+                    timestamp_us: r.timestamp_us + c.offset_us,
+                    lpn: r.lpn + c.region_base,
+                    size_pages: r.size_pages,
+                    op: r.op,
+                });
+            }
+        }
+        // Earliest timestamp wins; ties go to the lowest component index,
+        // matching the stable sort over the concatenated components.
+        let mut best: Option<(u64, usize)> = None;
+        for (i, c) in self.components.iter().enumerate() {
+            if let Some(p) = &c.peeked {
+                let earlier = match best {
+                    Some((best_ts, _)) => p.timestamp_us < best_ts,
+                    None => true,
+                };
+                if earlier {
+                    best = Some((p.timestamp_us, i));
+                }
+            }
+        }
+        let (_, idx) = best?;
+        self.components[idx].peeked.take()
+    }
+}
+
+impl RequestStream for MixStream {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filebench::{self, Unseen};
+    use crate::mix::Mix;
+    use crate::msrc::{self, Workload};
+    use crate::stats::TraceStats;
+    use crate::synth::{diurnal, generate_spec};
+    use proptest::prelude::*;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec {
+            name: "unit",
+            write_fraction: 0.3,
+            avg_request_size_kib: 16.0,
+            avg_access_count: 20.0,
+            zipf_theta: 0.9,
+            seq_probability: 0.2,
+            phases: 4,
+            mean_gap_us: 500.0,
+        }
+    }
+
+    #[test]
+    fn spec_stream_prefix_is_bit_identical() {
+        let n = 8_000;
+        let t = generate_spec(&spec(), n, 11);
+        let s = SpecStream::new(spec(), n, 11).collect_trace(n);
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn spec_stream_continues_monotone_and_stationary() {
+        let n = 4_000;
+        let mut s = SpecStream::new(spec(), n, 5);
+        let first: Vec<IoRequest> = (0..3 * n).map(|_| s.next_request()).collect();
+        assert!(
+            first
+                .windows(2)
+                .all(|w| w[0].timestamp_us <= w[1].timestamp_us),
+            "timestamps must stay monotone across chunk boundaries"
+        );
+        // Chunks differ (fresh seed) but hold the write fraction.
+        let chunk2 = Trace::from_requests("c2", first[2 * n..].to_vec());
+        let chunk0 = Trace::from_requests("c0", first[..n].to_vec());
+        assert_ne!(chunk0.requests(), chunk2.requests());
+        let wf = TraceStats::measure(&chunk2).write_fraction;
+        assert!((wf - 0.3).abs() < 0.05, "chunk 2 write fraction {wf}");
+    }
+
+    #[test]
+    fn diurnal_stream_prefix_is_bit_identical_and_infinite() {
+        let n = 6_000;
+        let t = diurnal(n, 5, 42);
+        let mut s = DiurnalStream::new(n, 5, 42);
+        let prefix = s.collect_trace(n);
+        assert_eq!(t, prefix);
+        // Beyond the horizon the stream keeps rotating hot sets.
+        let beyond = s.next_request();
+        assert_eq!(beyond.timestamp_us, n as u64 * 300);
+    }
+
+    #[test]
+    fn mix_stream_prefix_is_bit_identical_for_all_mixes() {
+        for m in Mix::ALL {
+            let n = 700;
+            let t = m.generate(n, 42);
+            let s = m.stream(n, 42).collect_trace(t.len());
+            assert_eq!(t, s, "{m}");
+        }
+    }
+
+    #[test]
+    fn mix_stream_is_infinite_and_generation_blocks_stay_sorted() {
+        let n = 400;
+        let mut s = Mix::Mix2.stream(n, 7);
+        let total = 2 * n; // one full generation for two components
+        let gen0: Vec<IoRequest> = (0..total).filter_map(|_| s.next()).collect();
+        let gen1: Vec<IoRequest> = (0..total).filter_map(|_| s.next()).collect();
+        assert_eq!(gen0.len(), total);
+        assert_eq!(gen1.len(), total, "stream must continue past the horizon");
+        for g in [&gen0, &gen1] {
+            assert!(
+                g.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us),
+                "each generation block is internally sorted"
+            );
+        }
+        assert!(
+            gen1.last().map(|r| r.timestamp_us) > gen0.last().map(|r| r.timestamp_us),
+            "time advances across generations"
+        );
+    }
+
+    #[test]
+    fn trace_into_stream_roundtrips() {
+        let t = msrc::generate(Workload::Rsrch0, 1_500, 3);
+        let mut s = t.clone().into_stream();
+        assert_eq!(s.name(), t.name());
+        let back = s.collect_trace(t.len());
+        assert_eq!(t, back);
+        assert!(s.next().is_none(), "trace streams are finite");
+    }
+
+    #[test]
+    fn collect_trace_stops_at_stream_end() {
+        let t = msrc::generate(Workload::Hm1, 100, 1);
+        let short = t.clone().into_stream().collect_trace(1_000);
+        assert_eq!(short.len(), 100);
+    }
+
+    proptest! {
+        #[test]
+        fn msrc_stream_prefix_matches_materialized(
+            widx in 0usize..14,
+            n in 1usize..2_000,
+            seed in 0u64..1_000,
+        ) {
+            let w = Workload::ALL[widx];
+            let t = msrc::generate(w, n, seed);
+            let s = msrc::stream(w, n, seed).collect_trace(n);
+            prop_assert_eq!(t, s);
+        }
+
+        #[test]
+        fn filebench_stream_prefix_matches_materialized(
+            widx in 0usize..5,
+            n in 1usize..2_000,
+            seed in 0u64..1_000,
+        ) {
+            let w = Unseen::ALL[widx];
+            let t = filebench::generate(w, n, seed);
+            let s = filebench::stream(w, n, seed).collect_trace(n);
+            prop_assert_eq!(t, s);
+        }
+
+        #[test]
+        fn diurnal_stream_prefix_matches_materialized(
+            n in 1usize..4_000,
+            phases in 1usize..8,
+            seed in 0u64..1_000,
+        ) {
+            let t = diurnal(n, phases, seed);
+            let s = DiurnalStream::new(n, phases, seed).collect_trace(n);
+            prop_assert_eq!(t, s);
+        }
+
+        #[test]
+        fn mix_stream_prefix_matches_materialized(
+            n in 1usize..500,
+            seed in 0u64..500,
+        ) {
+            let t = Mix::Mix2.generate(n, seed);
+            let s = Mix::Mix2.stream(n, seed).collect_trace(t.len());
+            prop_assert_eq!(t, s);
+        }
+    }
+}

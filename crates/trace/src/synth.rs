@@ -32,7 +32,7 @@ use crate::zipf::Zipf;
 
 /// Pages per popularity segment. Requests within a segment are placed
 /// uniformly, so a segment is the unit of spatial locality.
-const SEGMENT_PAGES: u64 = 64;
+pub(crate) const SEGMENT_PAGES: u64 = 64;
 
 /// Maximum request size in pages (256 KiB), matching the largest sizes in
 /// the MSRC traces.
@@ -123,7 +123,16 @@ impl SyntheticSpec {
 pub fn generate_spec(spec: &SyntheticSpec, n: usize, seed: u64) -> Trace {
     spec.validate();
     assert!(n > 0, "generate_spec: n must be positive");
+    let footprint = calibrated_footprint(spec, n, seed);
+    generate_raw(spec, n, seed, footprint)
+}
 
+/// The footprint (in pages) that [`generate_spec`] synthesizes over:
+/// closed-form estimate plus one probe-and-rescale calibration pass. The
+/// streaming path ([`crate::stream::SpecStream`]) calls this once at
+/// construction so its chunks use the exact footprint the materializing
+/// path would.
+pub(crate) fn calibrated_footprint(spec: &SyntheticSpec, n: usize, seed: u64) -> u64 {
     // Initial footprint estimate from the closed form
     //   avg_access_count = total page accesses / unique pages.
     let total_accesses = n as f64 * spec.avg_pages();
@@ -141,58 +150,89 @@ pub fn generate_spec(spec: &SyntheticSpec, n: usize, seed: u64) -> Trace {
         let correction = (measured / probe_target).clamp(0.2, 8.0);
         footprint *= correction;
     }
-    generate_raw(
-        spec,
-        n,
-        seed,
-        footprint.max(4.0 * SEGMENT_PAGES as f64) as u64,
-    )
+    footprint.max(4.0 * SEGMENT_PAGES as f64) as u64
 }
 
-/// Core generation loop over a fixed footprint.
-fn generate_raw(spec: &SyntheticSpec, n: usize, seed: u64, footprint_pages: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5357_4942_594c_u64); // "SIBYL" tag
-    let n_segments = (footprint_pages / SEGMENT_PAGES).max(4) as usize;
-    let zipf = Zipf::new(n_segments, spec.zipf_theta);
-    let phase_len = n.div_ceil(spec.phases);
-    let phase_stride = n_segments / spec.phases.max(1);
+/// The request-by-request state machine behind [`generate_raw`]. The
+/// materializing and streaming paths both drive this one type, so their
+/// sampling sequences cannot drift apart.
+#[derive(Debug, Clone)]
+pub(crate) struct RawGen {
+    rng: StdRng,
+    zipf: Zipf,
+    n_segments: usize,
+    phase_len: usize,
+    phase_stride: usize,
+    geo_p: f64,
+    seq_probability: f64,
+    write_fraction: f64,
+    mean_gap_us: f64,
+    now_us: u64,
+    prev_end: u64,
+    prev_op: IoOp,
+    in_seq_run: bool,
+    burst_left: usize,
+    i: usize,
+}
 
-    let avg_pages = spec.avg_pages();
-    // Geometric size distribution with mean `avg_pages` before clamping.
-    let geo_p = (1.0 / avg_pages).clamp(1.0 / MAX_REQ_PAGES as f64, 1.0);
+impl RawGen {
+    /// Sets up generation of `n` requests over a fixed footprint.
+    pub(crate) fn new(spec: &SyntheticSpec, n: usize, seed: u64, footprint_pages: u64) -> Self {
+        let n_segments = (footprint_pages / SEGMENT_PAGES).max(4) as usize;
+        RawGen {
+            rng: StdRng::seed_from_u64(seed ^ 0x5357_4942_594c_u64), // "SIBYL" tag
+            zipf: Zipf::new(n_segments, spec.zipf_theta),
+            n_segments,
+            phase_len: n.div_ceil(spec.phases).max(1),
+            phase_stride: n_segments / spec.phases.max(1),
+            // Geometric size distribution with mean `avg_pages` before
+            // clamping.
+            geo_p: (1.0 / spec.avg_pages()).clamp(1.0 / MAX_REQ_PAGES as f64, 1.0),
+            seq_probability: spec.seq_probability,
+            write_fraction: spec.write_fraction,
+            mean_gap_us: spec.mean_gap_us,
+            now_us: 0,
+            prev_end: 0,
+            prev_op: IoOp::Read,
+            in_seq_run: false,
+            burst_left: 0,
+            i: 0,
+        }
+    }
 
-    let mut requests = Vec::with_capacity(n);
-    let mut now_us: u64 = 0;
-    let mut prev_end: u64 = 0;
-    let mut prev_op = IoOp::Read;
-    let mut in_seq_run = false;
-    let mut burst_left = 0usize;
+    /// The generator's RNG, for post-passes that continue the stream
+    /// (op rebalancing draws from the same sequence).
+    pub(crate) fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
 
-    for i in 0..n {
-        let phase = i / phase_len.max(1);
+    /// Draws the next request.
+    pub(crate) fn next_request(&mut self) -> IoRequest {
+        let i = self.i;
+        let phase = i / self.phase_len;
 
         // --- address ---
-        let lpn = if in_seq_run || (i > 0 && rng.gen::<f64>() < spec.seq_probability) {
-            in_seq_run = rng.gen::<f64>() < 0.7; // runs end geometrically
-            prev_end
+        let lpn = if self.in_seq_run || (i > 0 && self.rng.gen::<f64>() < self.seq_probability) {
+            self.in_seq_run = self.rng.gen::<f64>() < 0.7; // runs end geometrically
+            self.prev_end
         } else {
-            in_seq_run = false;
-            let rank = zipf.sample(&mut rng);
-            let seg = (rank + phase * phase_stride) % n_segments;
-            let offset = rng.gen_range(0..SEGMENT_PAGES);
+            self.in_seq_run = false;
+            let rank = self.zipf.sample(&mut self.rng);
+            let seg = (rank + phase * self.phase_stride) % self.n_segments;
+            let offset = self.rng.gen_range(0..SEGMENT_PAGES);
             seg as u64 * SEGMENT_PAGES + offset
         };
 
         // --- size: geometric, clamped ---
         let mut size = 1u32;
-        while size < MAX_REQ_PAGES && rng.gen::<f64>() > geo_p {
+        while size < MAX_REQ_PAGES && self.rng.gen::<f64>() > self.geo_p {
             size += 1;
         }
 
         // --- op: sticky within sequential runs ---
-        let op = if in_seq_run && i > 0 {
-            prev_op
-        } else if rng.gen::<f64>() < spec.write_fraction {
+        let op = if self.in_seq_run && i > 0 {
+            self.prev_op
+        } else if self.rng.gen::<f64>() < self.write_fraction {
             IoOp::Write
         } else {
             IoOp::Read
@@ -202,51 +242,91 @@ fn generate_raw(spec: &SyntheticSpec, n: usize, seed: u64, footprint_pages: u64)
         // Enterprise traces are bursty (§3, Fig. 4): ~1.5 % of requests
         // open a burst of 15–50 requests arriving ~5× faster. Mild bursts
         // queue the slower devices without saturating the whole system.
-        if burst_left == 0 && rng.gen::<f64>() < 0.015 {
-            burst_left = rng.gen_range(15..50);
+        if self.burst_left == 0 && self.rng.gen::<f64>() < 0.015 {
+            self.burst_left = self.rng.gen_range(15..50);
         }
-        let mean_gap = if burst_left > 0 {
-            burst_left -= 1;
-            spec.mean_gap_us / 5.0
+        let mean_gap = if self.burst_left > 0 {
+            self.burst_left -= 1;
+            self.mean_gap_us / 5.0
         } else {
-            spec.mean_gap_us
+            self.mean_gap_us
         };
-        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
         let gap = (-u.ln() * mean_gap) as u64;
-        now_us += gap;
+        self.now_us += gap;
 
-        requests.push(IoRequest::new(now_us, lpn, size, op));
-        prev_end = lpn + size as u64;
-        prev_op = op;
+        self.prev_end = lpn + size as u64;
+        self.prev_op = op;
+        self.i += 1;
+        IoRequest::new(self.now_us, lpn, size, op)
+    }
+}
+
+/// Core generation loop over a fixed footprint.
+fn generate_raw(spec: &SyntheticSpec, n: usize, seed: u64, footprint_pages: u64) -> Trace {
+    let mut gen = RawGen::new(spec, n, seed, footprint_pages);
+    let mut requests = Vec::with_capacity(n);
+    for _ in 0..n {
+        requests.push(gen.next_request());
     }
 
     // The op-stickiness inside sequential runs skews the realized write
     // fraction for highly sequential workloads; rebalance by flipping
     // surplus ops on non-run requests (keeps addresses and sizes intact).
-    rebalance_ops(&mut requests, spec.write_fraction, &mut rng);
+    rebalance_ops(&mut requests, spec.write_fraction, gen.rng_mut());
 
     Trace::from_requests(spec.name, requests)
+}
+
+/// Read/flip access to a sequence of request ops, so [`rebalance_ops_on`]
+/// runs identically over materialized requests and over the streaming
+/// path's packed op bits.
+pub(crate) trait OpAccess {
+    /// `true` when request `i` is a write.
+    fn is_write(&self, i: usize) -> bool;
+    /// Sets request `i`'s op.
+    fn set_write(&mut self, i: usize, write: bool);
+}
+
+impl OpAccess for [IoRequest] {
+    fn is_write(&self, i: usize) -> bool {
+        self[i].op.is_write()
+    }
+    fn set_write(&mut self, i: usize, write: bool) {
+        self[i].op = if write { IoOp::Write } else { IoOp::Read };
+    }
 }
 
 /// Flips request ops (never addresses/sizes) until the realized write
 /// fraction is within half a percentage point of the target.
 fn rebalance_ops(requests: &mut [IoRequest], target_wf: f64, rng: &mut StdRng) {
     let n = requests.len();
+    rebalance_ops_on(requests, n, target_wf, rng);
+}
+
+/// The op-rebalancing pass over any [`OpAccess`] backing store. One RNG
+/// draw per loop iteration, independent of the backing representation —
+/// the invariant the stream/materialized equivalence proptests pin.
+pub(crate) fn rebalance_ops_on<A: OpAccess + ?Sized>(
+    ops: &mut A,
+    n: usize,
+    target_wf: f64,
+    rng: &mut StdRng,
+) {
     if n == 0 {
         return;
     }
     let target_writes = (target_wf * n as f64).round() as i64;
-    let mut writes: i64 = requests.iter().filter(|r| r.op.is_write()).count() as i64;
+    let mut writes: i64 = (0..n).filter(|&i| ops.is_write(i)).count() as i64;
     let mut guard = 4 * n;
     while (writes - target_writes).abs() > (n as i64 / 200).max(1) && guard > 0 {
         guard -= 1;
         let idx = rng.gen_range(0..n);
-        let r = &mut requests[idx];
-        if writes > target_writes && r.op.is_write() {
-            r.op = IoOp::Read;
+        if writes > target_writes && ops.is_write(idx) {
+            ops.set_write(idx, false);
             writes -= 1;
-        } else if writes < target_writes && !r.op.is_write() {
-            r.op = IoOp::Write;
+        } else if writes < target_writes && !ops.is_write(idx) {
+            ops.set_write(idx, true);
             writes += 1;
         }
     }
@@ -254,16 +334,16 @@ fn rebalance_ops(requests: &mut [IoRequest], target_wf: f64, rng: &mut StdRng) {
 
 /// Hot regions per phase of the [`diurnal`] generator (64-page regions,
 /// matching the serving engine's routing granule).
-const DIURNAL_HOT_REGIONS: u64 = 16;
+pub(crate) const DIURNAL_HOT_REGIONS: u64 = 16;
 
 /// Hot pages actually used within each hot region of [`diurnal`].
-const DIURNAL_HOT_PAGES_PER_REGION: u64 = 16;
+pub(crate) const DIURNAL_HOT_PAGES_PER_REGION: u64 = 16;
 
 /// Base LPN of [`diurnal`]'s cold streaming area, far above any hot span.
-const DIURNAL_COLD_BASE: u64 = 1 << 22;
+pub(crate) const DIURNAL_COLD_BASE: u64 = 1 << 22;
 
 /// Pages in the cold streaming area of [`diurnal`].
-const DIURNAL_COLD_SPAN_PAGES: u64 = 1 << 17;
+pub(crate) const DIURNAL_COLD_SPAN_PAGES: u64 = 1 << 17;
 
 /// Synthesizes a **phase-shifting (diurnal) workload** — the workload
 /// class that static first-write placement handles worst, and the one
@@ -290,32 +370,8 @@ const DIURNAL_COLD_SPAN_PAGES: u64 = 1 << 17;
 /// Panics if `n == 0` or `phases == 0`.
 pub fn diurnal(n: usize, phases: usize, seed: u64) -> Trace {
     assert!(n > 0, "diurnal: n must be positive");
-    assert!(phases > 0, "diurnal: phases must be positive");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x00D1_0BA1_u64 ^ 0x5EC1_3000);
-    let zipf = Zipf::new(DIURNAL_HOT_REGIONS as usize, 0.6);
-    let phase_len = n.div_ceil(phases);
-    let mut reqs = Vec::with_capacity(n);
-    let mut cold_cursor = 0u64;
-    for i in 0..n {
-        let phase = (i / phase_len) as u64;
-        let ts = i as u64 * 300;
-        if rng.gen::<f64>() < 0.70 {
-            // Hot: this phase's private region block.
-            let region = phase * DIURNAL_HOT_REGIONS + zipf.sample(&mut rng) as u64;
-            let page = region * SEGMENT_PAGES + rng.gen_range(0..DIURNAL_HOT_PAGES_PER_REGION);
-            let op = if rng.gen::<f64>() < 0.10 {
-                IoOp::Write
-            } else {
-                IoOp::Read
-            };
-            reqs.push(IoRequest::new(ts, page, 1, op));
-        } else {
-            // Cold: an 8-page streaming read over a large area.
-            let lpn = DIURNAL_COLD_BASE + (cold_cursor * 8) % DIURNAL_COLD_SPAN_PAGES;
-            cold_cursor += 1;
-            reqs.push(IoRequest::new(ts, lpn, 8, IoOp::Read));
-        }
-    }
+    let mut stream = crate::stream::DiurnalStream::new(n, phases, seed);
+    let reqs = (0..n).map(|_| stream.next_request()).collect();
     Trace::from_requests("diurnal", reqs)
 }
 

@@ -102,8 +102,25 @@ impl Trace {
         }
     }
 
+    /// Consumes the trace into a finite [`RequestStream`], so
+    /// stream-accepting drivers serve materialized traces unchanged
+    /// (see [`crate::stream`]).
+    ///
+    /// [`RequestStream`]: crate::stream::RequestStream
+    pub fn into_stream(self) -> crate::stream::TraceStream {
+        crate::stream::TraceStream::new(self.name, self.requests)
+    }
+
     /// Compact binary encoding (20 bytes per request) for caching
     /// generated traces on disk.
+    ///
+    /// Wire format: `u32` name length, the UTF-8 name, `u64` request
+    /// count, then per request `u64` timestamp, `u64` lpn, a 3-byte
+    /// big-endian `size_pages`, and one op byte (0 = read, 1 = write).
+    /// The 3-byte size field bounds `size_pages` at
+    /// [`MAX_REQUEST_PAGES`](crate::MAX_REQUEST_PAGES) = 2^24 − 1, which
+    /// [`IoRequest::new`] enforces at construction — so every in-memory
+    /// trace encodes losslessly.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(8 + self.name.len() + self.requests.len() * 20);
         buf.put_u32(self.name.len() as u32);
@@ -123,22 +140,27 @@ impl Trace {
 
     /// Decodes a trace produced by [`Trace::to_bytes`].
     ///
-    /// Returns `None` on malformed input.
+    /// Returns `None` on malformed input; never panics, however hostile
+    /// the bytes — the header's request count is validated with checked
+    /// arithmetic against the actual payload length before any
+    /// allocation is sized from it.
     pub fn from_bytes(mut data: Bytes) -> Option<Trace> {
         if data.remaining() < 4 {
             return None;
         }
         let name_len = data.get_u32() as usize;
-        if data.remaining() < name_len + 8 {
+        if data.remaining() < name_len.checked_add(8)? {
             return None;
         }
         let name_bytes = data.copy_to_bytes(name_len);
         let name = String::from_utf8(name_bytes.to_vec()).ok()?;
-        let n = data.get_u64() as usize;
-        if data.remaining() < n * 20 {
+        let n = usize::try_from(data.get_u64()).ok()?;
+        // A hostile count cannot wrap the bounds check or size a huge
+        // preallocation: 20 bytes per request must actually be present.
+        if data.remaining() < n.checked_mul(20)? {
             return None;
         }
-        let mut requests = Vec::with_capacity(n);
+        let mut requests = Vec::with_capacity(n.min(data.remaining() / 20));
         for _ in 0..n {
             let timestamp_us = data.get_u64();
             let lpn = data.get_u64();
@@ -148,15 +170,9 @@ impl Trace {
                 1 => IoOp::Write,
                 _ => return None,
             };
-            if size_pages == 0 {
-                return None;
-            }
-            requests.push(IoRequest {
-                timestamp_us,
-                lpn,
-                size_pages,
-                op,
-            });
+            // Re-validate the IoRequest invariants (size bounds, no LBA
+            // wraparound) rather than trusting the wire.
+            requests.push(IoRequest::checked(timestamp_us, lpn, size_pages, op)?);
         }
         Some(Trace { name, requests })
     }
@@ -238,11 +254,67 @@ mod tests {
         assert!(Trace::from_bytes(Bytes::from_static(&[1, 2, 3])).is_none());
     }
 
+    #[test]
+    fn size_pages_roundtrips_at_the_wire_boundary() {
+        // 2^24 - 1 is the largest encodable size; before the bound was
+        // enforced, 2^24 encoded as 0 and anything larger silently lost
+        // its top byte.
+        let t = Trace::from_requests(
+            "wide",
+            vec![
+                IoRequest::new(0, 0, crate::MAX_REQUEST_PAGES, IoOp::Write),
+                IoRequest::new(1, 1 << 40, crate::MAX_REQUEST_PAGES - 1, IoOp::Read),
+            ],
+        );
+        let decoded = Trace::from_bytes(t.to_bytes()).expect("roundtrip");
+        assert_eq!(t, decoded);
+    }
+
+    #[test]
+    fn hostile_request_count_cannot_overflow_or_overallocate() {
+        // Header claims u64::MAX requests: `n * 20` used to wrap in
+        // release (defeating the bounds check) and the preallocation
+        // could abort the process.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(1);
+        buf.put_u8(b'x');
+        buf.put_u64(u64::MAX);
+        buf.put_slice(&[0u8; 40]);
+        assert!(Trace::from_bytes(buf.freeze()).is_none());
+
+        // Plausible-but-unbacked count: must reject, not preallocate.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(0);
+        buf.put_u64(1 << 40);
+        assert!(Trace::from_bytes(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_wire_level_invalid_requests() {
+        // An lpn range that wraps past u64::MAX is rejected even though
+        // each field individually parses.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(0);
+        buf.put_u64(1);
+        buf.put_u64(0); // timestamp
+        buf.put_u64(u64::MAX - 1); // lpn
+        buf.put_uint(8, 3); // size_pages: range wraps
+        buf.put_u8(0);
+        assert!(Trace::from_bytes(buf.freeze()).is_none());
+    }
+
     proptest! {
         #[test]
         fn binary_roundtrip_random(
             reqs in proptest::collection::vec(
-                (0u64..1_000_000, 0u64..1_000_000, 1u32..64, proptest::bool::ANY),
+                // Sizes span the full 3-byte wire field, not just 1..64 —
+                // the top byte used to be silently dropped on encode.
+                (
+                    0u64..1_000_000,
+                    0u64..1_000_000,
+                    1u32..=crate::MAX_REQUEST_PAGES,
+                    proptest::bool::ANY,
+                ),
                 0..100,
             )
         ) {
@@ -253,6 +325,21 @@ mod tests {
             let t = Trace::from_requests("p", requests);
             let decoded = Trace::from_bytes(t.to_bytes()).expect("roundtrip");
             prop_assert_eq!(t, decoded);
+        }
+
+        #[test]
+        fn mutated_encodings_never_panic(
+            flips in proptest::collection::vec((0usize..10_000, 0u8..=255), 1..8)
+        ) {
+            // Fuzz: arbitrary byte mutations of a valid encoding must
+            // decode to Some(valid trace) or None — never panic or abort.
+            let t = sample();
+            let mut bytes = t.to_bytes().to_vec();
+            for (pos, val) in flips {
+                let len = bytes.len();
+                bytes[pos % len] = val;
+            }
+            let _ = Trace::from_bytes(Bytes::from(bytes));
         }
     }
 }
