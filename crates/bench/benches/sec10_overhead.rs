@@ -12,10 +12,11 @@
 use std::time::Instant;
 
 use rand::SeedableRng;
-use sibyl_bench::{hm_config, seed, trace_len, TwoTermFit};
+use sibyl_bench::{hm_config, seed, trace_len, BenchJson, TwoTermFit};
 use sibyl_core::{Experience, ExperienceBuffer, OverheadReport, SibylConfig};
 use sibyl_nn::{Activation, Mlp};
 use sibyl_serve::{DecideCost, ServeConfig, TelemetryConfig};
+use sibyl_sim::report::Table;
 use sibyl_sim::ServeExperiment;
 use sibyl_trace::mix::Mix;
 
@@ -95,23 +96,31 @@ fn training_benchmark() {
 /// for the per-sample reference loop and the batched path that replaced
 /// it. The per-sample columns drop monotonically from batch 1 → 32: the
 /// batched kernels stream each weight matrix once per batch.
-fn training_step_table() {
+fn training_step_table() -> Table {
     const NS_PER_MAC: f64 = 20.0;
     println!("--- §10.1 training-step latency (C51 net, {NS_PER_MAC} ns/MAC model) ---");
-    println!(
-        "{:>6} {:>18} {:>20} {:>16} {:>16}",
-        "batch", "model step (µs)", "model/sample (µs)", "seq ns/sample", "batched ns/sample"
+    let mut table = Table::new(
+        [
+            "batch",
+            "model step (us)",
+            "model/sample (us)",
+            "seq ns/sample",
+            "batched ns/sample",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for row in sibyl_bench::train_step_latency_rows(&[1, 8, 32], NS_PER_MAC) {
-        println!(
-            "{:>6} {:>18.2} {:>20.3} {:>16.1} {:>16.1}",
-            row.batch,
-            row.modeled_step_us,
-            row.modeled_per_sample_us,
-            row.seq_ns_per_sample,
-            row.batched_ns_per_sample
-        );
+        table.add_row(vec![
+            row.batch.to_string(),
+            format!("{:.2}", row.modeled_step_us),
+            format!("{:.3}", row.modeled_per_sample_us),
+            format!("{:.1}", row.seq_ns_per_sample),
+            format!("{:.1}", row.batched_ns_per_sample),
+        ]);
     }
+    println!("{}", table.render());
+    table
 }
 
 /// The decide-path kernel table: measured ns/MAC through the retained
@@ -121,25 +130,32 @@ fn training_step_table() {
 /// decide cost. The scalar→tiled delta is the §10 win this PR claims;
 /// the tiled ≤ scalar pin is asserted by the bench-crate regression test
 /// in release builds.
-fn inference_kernel_table() -> TwoTermFit {
+fn inference_kernel_table() -> (TwoTermFit, Table) {
     const NS_PER_MAC: f64 = 20.0;
     const BATCHES: [usize; 4] = [1, 8, 16, 32];
     println!("--- §10.1 decide-path kernels (C51 net, {NS_PER_MAC} ns/MAC model) ---");
-    println!(
-        "{:>6} {:>16} {:>16} {:>16} {:>14}",
-        "batch", "model/req (µs)", "scalar ns/MAC", "tiled ns/MAC", "f16 ns/MAC"
+    let mut table = Table::new(
+        [
+            "batch",
+            "model/req (us)",
+            "scalar ns/MAC",
+            "tiled ns/MAC",
+            "f16 ns/MAC",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let rows = sibyl_bench::infer_kernel_rows(&BATCHES, NS_PER_MAC);
     for row in &rows {
-        println!(
-            "{:>6} {:>16.3} {:>16.3} {:>16.3} {:>14.3}",
-            row.batch,
-            row.modeled_per_req_us,
-            row.scalar_ns_per_mac,
-            row.tiled_ns_per_mac,
-            row.f16_ns_per_mac
-        );
+        table.add_row(vec![
+            row.batch.to_string(),
+            format!("{:.3}", row.modeled_per_req_us),
+            format!("{:.3}", row.scalar_ns_per_mac),
+            format!("{:.3}", row.tiled_ns_per_mac),
+            format!("{:.3}", row.f16_ns_per_mac),
+        ]);
     }
+    println!("{}", table.render());
 
     // Calibrate the ROADMAP's two-term rider from the tiled measurements:
     // total decide µs per call = setup + per_row · batch. The fit itself
@@ -163,7 +179,7 @@ fn inference_kernel_table() -> TwoTermFit {
         "  equivalent single-rate at batch 32: {:.2} ns/MAC (model uses {NS_PER_MAC})",
         fit.step_us(32) * 1_000.0 / (MACS * 32.0)
     );
-    fit
+    (fit, table)
 }
 
 /// The calibrated fit, driven through the serving engine: the same mix2
@@ -171,14 +187,21 @@ fn inference_kernel_table() -> TwoTermFit {
 /// measured two-term fit, with telemetry reporting the billed decide
 /// cost per batch (the `serve.decide_ns` histogram — exactly what the
 /// engine charged, not a recomputation).
-fn decide_bill_table(fit: TwoTermFit) {
+fn decide_bill_table(fit: TwoTermFit) -> Table {
     const NS_PER_MAC: f64 = 20.0;
     let n = trace_len(2_000);
     let trace = Mix::Mix2.generate(n, seed());
     println!("--- §10.3 engine decide bill (mix2, {n} requests, 2 shards x batch 16) ---");
-    println!(
-        "{:<22} {:>10} {:>18} {:>14} {:>14}",
-        "model", "batches", "billed us/batch", "nn busy (us)", "avg lat (us)"
+    let mut table = Table::new(
+        [
+            "model",
+            "batches",
+            "billed us/batch",
+            "nn busy (us)",
+            "avg lat (us)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let models: [(&str, DecideCost); 2] = [
         ("per-MAC flat", DecideCost::PerMac),
@@ -206,11 +229,16 @@ fn decide_bill_table(fit: TwoTermFit) {
             .histogram("serve.decide_ns")
             .map_or(0.0, |h| h.mean() / 1_000.0);
         let nn_us: f64 = outcome.report.shards.iter().map(|s| s.nn_busy_us).sum();
-        println!(
-            "{name:<22} {batches:>10} {billed_us:>18.3} {nn_us:>14.1} {:>14.1}",
-            outcome.aggregate.avg_latency_us
-        );
+        table.add_row(vec![
+            name.to_string(),
+            batches.to_string(),
+            format!("{billed_us:.3}"),
+            format!("{nn_us:.1}"),
+            format!("{:.1}", outcome.aggregate.avg_latency_us),
+        ]);
     }
+    println!("{}", table.render());
+    table
 }
 
 fn buffer_benchmark() {
@@ -247,12 +275,23 @@ fn print_storage_accounting() {
     );
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_storage_accounting();
     inference_benchmark();
-    let fit = inference_kernel_table();
+    let (fit, kernels) = inference_kernel_table();
     training_benchmark();
-    training_step_table();
+    let train = training_step_table();
     buffer_benchmark();
-    decide_bill_table(fit);
+    let bill = decide_bill_table(fit);
+
+    let mut json = BenchJson::new("sec10_overhead", trace_len(2_000), seed());
+    json.table("infer_kernels", &kernels);
+    json.table("train_step", &train);
+    json.table("decide_bill", &bill);
+    json.note("two_term_setup_us", format!("{:.3}", fit.setup_us));
+    json.note("two_term_per_row_us", format!("{:.4}", fit.per_row_us));
+    if let Some(path) = json.write()? {
+        println!("bench JSON written to {path}");
+    }
+    Ok(())
 }

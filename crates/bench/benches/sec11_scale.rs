@@ -17,7 +17,7 @@
 //! every request pays a full forward pass, at batch 32 a thirty-second
 //! of one.
 
-use sibyl_bench::{banner, hm_config, seed, trace_len};
+use sibyl_bench::{banner, hm_config, seed, trace_len, BenchJson};
 use sibyl_core::SibylConfig;
 use sibyl_serve::{ServeConfig, TelemetryConfig};
 use sibyl_sim::report::Table;
@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // sweep shows the win in the latency column, not just IOPS.
     const NN_NS_PER_MAC: f64 = 20.0;
 
+    let mut json = BenchJson::new("sec11_scale", n, seed());
     for batch in [1usize, 8, 32] {
         let mut table = Table::new(
             [
@@ -87,6 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("inference batch size {batch}");
         println!("{}", table.render());
+        json.table(&format!("batch{batch}"), &table);
     }
 
     // CI determinism gate: when SIBYL_TELEMETRY_OUT names a file, rerun
@@ -111,6 +113,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "telemetry JSONL ({} lines) written to {path}",
             jsonl.lines().count()
         );
+    }
+    if let Some(path) = json.write()? {
+        println!("bench JSON written to {path}");
     }
     Ok(())
 }

@@ -15,7 +15,7 @@
 //! the latency columns include the decision cost cooperation has to
 //! amortize.
 
-use sibyl_bench::{banner, hm_config, seed, skewed_coop_trace, trace_len};
+use sibyl_bench::{banner, hm_config, seed, skewed_coop_trace, trace_len, BenchJson};
 use sibyl_core::SibylConfig;
 use sibyl_serve::{CoopConfig, CoopMode, ServeConfig};
 use sibyl_sim::report::Table;
@@ -60,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The 4-shard sweep report doubles as the foreign-weight ablation's
     // baseline and weight-1.0 row (the default weight *is* 1.0), saving
     // two full serve runs.
+    let mut json = BenchJson::new("sec12_coop", n, seed());
     let mut four_shard: Option<sibyl_sim::CoopReport> = None;
     for shards in [1usize, 2, 4, 8] {
         let exp = CoopExperiment::new(base_config(shards), trace.clone());
@@ -100,12 +101,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("{shards} shard(s)");
         println!("{}", table.render());
+        json.table(&format!("shards{shards}"), &table);
         let best = report.best_cooperative_mode();
         println!(
             "best cooperative mode: {best} (norm lat {:.3}, hit gain {:+.3})\n",
             report.normalized_latency(best),
             report.hit_rate_gain(best),
         );
+        json.note(&format!("best_coop_shards{shards}"), best);
 
         // Learning curves explain the win: print the aggregate curve of
         // the baseline vs the best cooperative mode at the widest sweep
@@ -137,6 +140,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             println!("learning curves, {shards} shards (cumulative): independent vs {best}");
             println!("{}", curve.render());
+            json.table("curves_shards8", &curve);
         }
     }
 
@@ -190,5 +194,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let halved = CoopExperiment::new(cfg, trace.clone()).run_mode(CoopMode::SharedReplay)?;
     row(0.5, &halved);
     println!("{}", ablation.render());
+    json.table("foreign_weight_ablation", &ablation);
+    if let Some(path) = json.write()? {
+        println!("bench JSON written to {path}");
+    }
     Ok(())
 }

@@ -13,7 +13,7 @@
 //! migration I/O consumed (charged against the same device clocks the
 //! foreground requests queue on, so the win is net of its own cost).
 
-use sibyl_bench::{banner, migration_config, seed, trace_len};
+use sibyl_bench::{banner, migration_config, seed, trace_len, BenchJson};
 use sibyl_sim::report::Table;
 use sibyl_sim::MigrationExperiment;
 use sibyl_trace::synth;
@@ -76,5 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.normalized_latency(best),
         report.hit_rate_gain(best),
     );
+
+    let mut json = BenchJson::new("sec13_migration", n, seed());
+    json.table("policies", &table);
+    json.note("best_active_policy", best);
+    if let Some(path) = json.write()? {
+        println!("bench JSON written to {path}");
+    }
     Ok(())
 }

@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use sibyl_bench::{banner, hm_config, seed, trace_len};
+use sibyl_bench::{banner, hm_config, seed, trace_len, BenchJson};
 use sibyl_core::SibylConfig;
 use sibyl_serve::ServeConfig;
 use sibyl_sim::report::Table;
@@ -115,5 +115,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "directory bytes must be sublinear in trace length: {first} -> {last} bytes \
          over a {req_growth:.0}x request sweep"
     );
+
+    let mut json = BenchJson::new("sec14_scale", horizon, seed());
+    json.table("scale", &table);
+    json.note("directory_growth", format!("{growth:.2}"));
+    json.note("request_growth", format!("{req_growth:.0}"));
+    if let Some(path) = json.write()? {
+        println!("bench JSON written to {path}");
+    }
     Ok(())
 }

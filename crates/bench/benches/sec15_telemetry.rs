@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use sibyl_bench::{banner, hm_config, seed, trace_len};
+use sibyl_bench::{banner, hm_config, seed, trace_len, BenchJson};
 use sibyl_core::SibylConfig;
 use sibyl_serve::{serve_trace, ServeConfig, ServeReport, TelemetryConfig};
 use sibyl_sim::report::Table;
@@ -126,5 +126,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("full level has telemetry");
     println!("--- sibyl-top (full level) ---");
     println!("{}", full.render_top());
+
+    let mut json = BenchJson::new("sec15_telemetry", n, seed());
+    json.table("levels", &table);
+    json.text("top", &full.render_top());
+    if let Some(path) = json.write()? {
+        println!("bench JSON written to {path}");
+    }
     Ok(())
 }

@@ -1,0 +1,150 @@
+//! §16 x-ray tracing: where each request's latency goes, measured with
+//! the deterministic span tracer threaded through the serving engine.
+//!
+//! Every target before this one reports *aggregate* latency; this one
+//! decomposes it. The same reference configuration as `sec15_telemetry`
+//! (4 shards × inference batch 16, §10 NN cost charged) serves two
+//! workloads — Table 5's mix2 and the phase-shifting diurnal trace with
+//! background migration enabled — with [`XrayConfig::Sampled`] tracing a
+//! deterministic 1-in-4 subset of requests. For each run it prints the
+//! exact critical-path breakdown (per shard and merged; the component
+//! shares in every row sum to 100% of sampled latency — the
+//! decomposition leaves nothing unattributed), the top-5 tail span
+//! trees (the postmortem view of the slowest requests), and the
+//! folded-stacks export consumed by flamegraph tooling.
+//!
+//! Sampling is a pure function of `(seed, lba, seq)`, so identically
+//! seeded runs trace identical request subsets and export byte-identical
+//! folded stacks — when **`SIBYL_XRAY_OUT`** names a file the mix2 run's
+//! folded export is written there, and CI runs this target twice and
+//! `cmp`s the two files as a determinism gate. Tracing never decides:
+//! the engine's per-shard reports are bit-identical to an untraced run
+//! (pinned by the serve-crate goldens and the bench-crate ≤5% overhead
+//! regression test).
+
+use sibyl_bench::{banner, hm_config, seed, trace_len, BenchJson};
+use sibyl_core::SibylConfig;
+use sibyl_serve::{MigrateConfig, ServeConfig, XrayConfig};
+use sibyl_sim::report::Table;
+use sibyl_sim::ServeExperiment;
+use sibyl_trace::mix::Mix;
+use sibyl_trace::{synth, Trace};
+use sibyl_xray::XrayReport;
+
+/// Sampling exponent: trace 1 request in 2^2 = 4 — dense enough for a
+/// meaningful tail at smoke-run sizes, sparse enough to model the
+/// production rate regime.
+const SAMPLE_EXPONENT: u32 = 2;
+
+/// The breakdown table in structured form (the same numbers
+/// [`XrayReport::breakdown_table`] prints), for the JSON artifact.
+fn breakdown_rows(report: &XrayReport) -> Table {
+    let mut table = Table::new(
+        [
+            "shard",
+            "sampled",
+            "avg lat (us)",
+            "decide",
+            "train",
+            "queue",
+            "transfer",
+            "queue_wait (us)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut row = |label: &str, t: &sibyl_xray::ComponentTotals| {
+        let pct = |ns: u64| format!("{:.1}%", t.share(ns) * 100.0);
+        table.add_row(vec![
+            label.to_string(),
+            t.sampled.to_string(),
+            format!("{:.1}", t.mean_latency_us()),
+            pct(t.decide_ns),
+            pct(t.train_ns),
+            pct(t.queue_ns),
+            pct(t.transfer_ns),
+            format!(
+                "{:.1}",
+                t.queue_wait_ns as f64 / t.sampled.max(1) as f64 / 1_000.0
+            ),
+        ]);
+    };
+    for s in &report.shards {
+        row(&s.shard.to_string(), &s.totals);
+    }
+    row("merged", &report.merged_totals());
+    table
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = trace_len(4_000);
+    banner(
+        "§16 x-ray",
+        "Per-request span tracing: critical-path breakdown, tail forensics, folded stacks",
+    );
+    println!(
+        "4 shards x batch 16, 1/2^{SAMPLE_EXPONENT} deterministic sampling, \
+         {n} requests per workload\n"
+    );
+
+    let sibyl = SibylConfig {
+        train_interval: 250,
+        ..Default::default()
+    };
+    let base = ServeConfig::new(hm_config())
+        .with_shards(4)
+        .with_max_batch(16)
+        .with_time_scale(40.0)
+        .with_nn_ns_per_mac(20.0)
+        .with_sibyl(sibyl)
+        .with_xray(XrayConfig::Sampled(SAMPLE_EXPONENT));
+
+    let mut json = BenchJson::new("sec16_xray", n, seed());
+    let runs: [(&str, Trace, ServeConfig); 2] = [
+        ("mix2", Mix::Mix2.generate(n, seed()), base.clone()),
+        (
+            // The diurnal arm adds background migration, so the folded
+            // stacks and tail trees carry stall.migrate spans too.
+            "diurnal",
+            synth::diurnal(n, 5, seed()),
+            base.clone()
+                .with_migrate(MigrateConfig::default().with_scan_period(4)),
+        ),
+    ];
+
+    let mut mix2_folded: Option<String> = None;
+    for (name, trace, config) in runs {
+        let outcome = ServeExperiment::new(config, trace).run()?;
+        let report = outcome.xray_report().expect("xray enabled");
+        println!(
+            "--- {name}: critical-path breakdown ({} of {} requests sampled) ---",
+            report.sampled(),
+            report.requests_seen()
+        );
+        println!("{}", report.breakdown_table());
+        println!("--- {name}: top-5 tail span trees ---");
+        println!("{}", report.render_tail(5));
+        json.table(&format!("{name}_breakdown"), &breakdown_rows(report));
+        json.text(&format!("{name}_tail"), &report.render_tail(5));
+        let folded = outcome.xray_folded().expect("xray enabled");
+        json.text(&format!("{name}_folded"), &folded);
+        if name == "mix2" {
+            mix2_folded = Some(folded);
+        }
+    }
+
+    // CI determinism gate: two invocations must write byte-identical
+    // folded exports (`cmp`-ed by the workflow).
+    if let Ok(path) = std::env::var("SIBYL_XRAY_OUT") {
+        let folded = mix2_folded.expect("mix2 arm ran");
+        std::fs::write(&path, &folded)?;
+        println!(
+            "folded stacks ({} lines) written to {path}",
+            folded.lines().count()
+        );
+    }
+    if let Some(path) = json.write()? {
+        println!("bench JSON written to {path}");
+    }
+    Ok(())
+}

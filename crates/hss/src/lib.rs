@@ -52,7 +52,8 @@ mod victim;
 pub use config::{CapacityMode, HssConfig};
 pub use device::{Device, DeviceId, DeviceKind, DeviceSpec, DeviceStats, Service};
 pub use manager::{
-    AccessOutcome, AccessTracker, MigrationOutcome, PageDirectory, PageMove, StorageManager,
+    AccessDetail, AccessOutcome, AccessTracker, MigrationOutcome, PageDirectory, PageMove,
+    StorageManager,
 };
 pub use policy::{PlacementContext, PlacementPolicy};
 pub use stats::{HssStats, LatencyHistogram};

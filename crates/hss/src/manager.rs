@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use crate::config::HssConfig;
-use crate::device::{Device, DeviceId};
+use crate::device::{Device, DeviceId, Service};
 use crate::stats::HssStats;
 use crate::victim::{LruVictim, VictimPolicy};
 use sibyl_trace::{IoOp, IoRequest};
@@ -113,6 +113,12 @@ pub struct MigrationOutcome {
     /// same time is charged against the involved devices' clocks, so
     /// foreground requests queue behind it.
     pub busy_us: f64,
+    /// Source-side bulk-read service time (µs); `read_us + write_us ==
+    /// busy_us` up to float addition order (both accumulate in the same
+    /// deterministic group order).
+    pub read_us: f64,
+    /// Destination-side append-write service time (µs).
+    pub write_us: f64,
 }
 
 impl MigrationOutcome {
@@ -444,6 +450,27 @@ impl AccessTracker {
     }
 }
 
+/// Device-level timing detail of the most recent foreground access —
+/// the sub-span hook the xray tracer reads after
+/// [`StorageManager::access_after`]. The *critical device* is the one
+/// whose completion determined the request's latency (reads fan out across
+/// every device holding pages; the slowest arm wins). Splitting its
+/// time into
+/// queue wait and service lets a trace attribute storage-phase latency
+/// to contention vs transfer without changing the access path: the
+/// detail is recorded from quantities the serve path already computes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccessDetail {
+    /// The critical device's index.
+    pub device: usize,
+    /// Time the request waited for the critical device to become free
+    /// (µs): dispatch until its command started serving. This is where
+    /// queued migration/eviction I/O shows up.
+    pub queue_us: f64,
+    /// The critical device's service (command + transfer) time (µs).
+    pub transfer_us: f64,
+}
+
 /// Result of serving one request through the storage manager.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessOutcome {
@@ -503,6 +530,7 @@ pub struct StorageManager {
     queue_window: usize,
     seq: u64,
     demote_on_read: bool,
+    last_detail: AccessDetail,
 }
 
 impl StorageManager {
@@ -538,6 +566,7 @@ impl StorageManager {
             queue_window: config.queue_window,
             seq: 0,
             demote_on_read: false,
+            last_detail: AccessDetail::default(),
         }
     }
 
@@ -598,6 +627,14 @@ impl StorageManager {
     /// Run statistics so far.
     pub fn stats(&self) -> &HssStats {
         &self.stats
+    }
+
+    /// Device-level timing of the most recent foreground access: which
+    /// device was on the request's critical path and how its latency
+    /// split into queueing vs. transfer. Valid after
+    /// [`StorageManager::access_after`]; the xray sub-span hook.
+    pub fn last_access_detail(&self) -> AccessDetail {
+        self.last_detail
     }
 
     /// Configured capacity of `device` in pages.
@@ -752,13 +789,27 @@ impl StorageManager {
         }
 
         // One read command per involved device; they proceed in parallel,
-        // so the request completes at the slowest one's completion.
+        // so the request completes at the slowest one's completion. The
+        // critical arm (latest completion; lowest device index on ties,
+        // since the loop keeps the first maximum) defines the request's
+        // device-level queue/transfer split.
         let mut completion = arrival;
+        let mut crit: Option<(usize, Service)> = None;
         for (d, &count) in per_device.iter().enumerate() {
             if count > 0 {
                 let svc = self.devices[d].serve(arrival, IoOp::Read, req.lpn, count);
                 completion = completion.max(svc.completion_us);
+                if crit.is_none_or(|(_, c)| svc.completion_us > c.completion_us) {
+                    crit = Some((d, svc));
+                }
             }
+        }
+        if let Some((device, svc)) = crit {
+            self.last_detail = AccessDetail {
+                device,
+                queue_us: (svc.start_us - arrival).max(0.0),
+                transfer_us: svc.service_us,
+            };
         }
 
         // Promote pages the policy wants on a faster device; the data is
@@ -796,6 +847,11 @@ impl StorageManager {
     fn serve_write(&mut self, req: &IoRequest, target: DeviceId, arrival: f64) -> (f64, u64) {
         let svc =
             self.devices[target.0].serve(arrival, IoOp::Write, req.lpn, req.size_pages as u64);
+        self.last_detail = AccessDetail {
+            device: target.0,
+            queue_us: (svc.start_us - arrival).max(0.0),
+            transfer_us: svc.service_us,
+        };
         let mut migrated = 0u64;
         for p in req.pages() {
             match self.dir.residency(p) {
@@ -872,6 +928,8 @@ impl StorageManager {
             let (read_us, reads_done) = self.bulk_read_runs(from, &lpns, not_before_us);
             let wr = self.devices[to].serve_append(reads_done, IoOp::Write, lpns.len() as u64);
             outcome.busy_us += read_us + wr.service_us;
+            outcome.read_us += read_us;
+            outcome.write_us += wr.service_us;
         }
         if outcome.moved_pages() > 0 {
             self.stats.bg_migration_events += 1;
@@ -1298,6 +1356,72 @@ mod tests {
         assert_eq!(st.bg_promoted_pages, 2);
         assert_eq!(st.bg_demoted_pages, 1);
         assert!((st.bg_migration_us - out.busy_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_detail_tracks_the_critical_device() {
+        let mut m = dual_manager(100);
+        // A write goes to exactly the targeted device.
+        let out = m.access(&wr(0, 9, 1), DeviceId(0));
+        let d = m.last_access_detail();
+        assert_eq!(d.device, 0);
+        assert!(d.transfer_us > 0.0);
+        assert!(
+            d.queue_us + d.transfer_us <= out.completion_us - out.arrival_us + 1e-9,
+            "detail must fit inside the storage phase"
+        );
+        // A read of a slow-resident page is served by the slow device.
+        let _ = m.access(&rd(1, 500, 1), DeviceId(1));
+        assert_eq!(m.last_access_detail().device, 1);
+        // A straddling read (one page fast, one slow) is dominated by the
+        // slow arm.
+        let _ = m.access(&wr(2, 500, 1), DeviceId(0));
+        let _ = m.access(&rd(3, 600, 1), DeviceId(1));
+        let _ = m.access(&rd(10_000, 500, 2), DeviceId(1));
+        assert_eq!(m.last_access_detail().device, 1, "slow arm is critical");
+    }
+
+    #[test]
+    fn access_detail_queue_reflects_device_contention() {
+        let mut m = dual_manager(100);
+        // Back-to-back same-instant writes: the second queues behind the
+        // first on the same device.
+        let _ = m.access(&wr(0, 1, 8), DeviceId(1));
+        let first = m.last_access_detail();
+        assert_eq!(first.queue_us, 0.0, "idle device serves immediately");
+        let _ = m.access(&wr(0, 100, 8), DeviceId(1));
+        let second = m.last_access_detail();
+        assert!(
+            second.queue_us >= first.transfer_us - 1e-9,
+            "second request must wait out the first: {} vs {}",
+            second.queue_us,
+            first.transfer_us
+        );
+    }
+
+    #[test]
+    fn migration_outcome_splits_read_and_write_time() {
+        let mut m = dual_manager(100);
+        let _ = m.access(&rd(0, 10, 4), DeviceId(1));
+        let out = m.migrate_batch(
+            &[
+                PageMove {
+                    lpn: 10,
+                    to: DeviceId(0),
+                },
+                PageMove {
+                    lpn: 11,
+                    to: DeviceId(0),
+                },
+            ],
+            5_000.0,
+        );
+        assert!(out.read_us > 0.0, "bulk read must cost time");
+        assert!(out.write_us > 0.0, "append write must cost time");
+        assert!(
+            (out.read_us + out.write_us - out.busy_us).abs() < 1e-9,
+            "split must account for all busy time"
+        );
     }
 
     #[test]

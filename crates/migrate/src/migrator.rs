@@ -55,6 +55,11 @@ pub struct TickOutcome {
     pub moved_pages: u64,
     /// Device time this tick's I/O consumed (µs).
     pub busy_us: f64,
+    /// Source-side bulk-read portion of `busy_us` (µs) — the xray
+    /// `stall.migrate` sub-span split.
+    pub read_us: f64,
+    /// Destination-side append-write portion of `busy_us` (µs).
+    pub write_us: f64,
 }
 
 /// The background-migration driver owned by one storage node (one shard
@@ -205,6 +210,8 @@ impl Migrator {
         TickOutcome {
             moved_pages: out.moved_pages(),
             busy_us: out.busy_us,
+            read_us: out.read_us,
+            write_us: out.write_us,
         }
     }
 }

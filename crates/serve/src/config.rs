@@ -5,6 +5,7 @@ use sibyl_core::{QuantMode, SibylConfig, TrainingMode};
 use sibyl_hss::HssConfig;
 use sibyl_migrate::MigrateConfig;
 use sibyl_telemetry::TelemetryConfig;
+use sibyl_xray::XrayConfig;
 
 use crate::engine::ServeError;
 
@@ -197,6 +198,18 @@ pub struct ServeConfig {
     /// export. Overrides [`SibylConfig::telemetry`] per shard, the same
     /// way the per-shard seed overrides [`SibylConfig::seed`].
     pub telemetry: TelemetryConfig,
+    /// Per-request span tracing for the run. Default:
+    /// [`XrayConfig::Off`] — no tracer is constructed and the engine is
+    /// pinned bit-identical to one without the subsystem.
+    /// [`XrayConfig::Sampled(k)`](XrayConfig::Sampled) traces a
+    /// deterministic `1/2^k` subset of requests — the sampling decision
+    /// is a stateless hash of `(base seed, lba, per-shard seq)`, so the
+    /// traced set is identical across runs and thread schedules — and
+    /// collects critical-path attribution, folded-stacks exports, and
+    /// tail forensics into [`crate::ServeReport::xray`]. Span durations
+    /// are simulated time quantized to logical nanoseconds: tracing
+    /// reads no wall clock and perturbs zero placement decisions.
+    pub xray: XrayConfig,
 }
 
 impl ServeConfig {
@@ -218,6 +231,7 @@ impl ServeConfig {
             sibyl: SibylConfig::default(),
             quant: QuantMode::Off,
             telemetry: TelemetryConfig::off(),
+            xray: XrayConfig::Off,
         }
     }
 
@@ -260,6 +274,12 @@ impl ServeConfig {
     /// Sets the telemetry recording level for every shard.
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the per-request span-tracing mode (see [`XrayConfig`]).
+    pub fn with_xray(mut self, xray: XrayConfig) -> Self {
+        self.xray = xray;
         self
     }
 
@@ -343,6 +363,7 @@ impl ServeConfig {
             return Err(ServeError::InvalidDecideCost);
         }
         self.telemetry.validate().map_err(ServeError::Telemetry)?;
+        self.xray.validate().map_err(ServeError::Xray)?;
         self.coop.validate().map_err(ServeError::Coop)?;
         self.migrate.validate().map_err(ServeError::Migrate)?;
         if self.coop.mode.is_cooperative() && self.sibyl.training_mode != TrainingMode::Synchronous

@@ -15,6 +15,9 @@ use sibyl_telemetry::{
     TelemetryReport, TelemetrySink, TraceEvent,
 };
 use sibyl_trace::{IoRequest, Trace};
+use sibyl_xray::{
+    RequestObservation, ShardXray, XrayConfig, XrayConfigError, XrayReport, XrayTracer,
+};
 
 use crate::config::{DecideCost, ServeConfig};
 use crate::report::{CurvePoint, ServeReport, ShardReport};
@@ -40,6 +43,8 @@ pub enum ServeError {
     InvalidDecideCost,
     /// The telemetry configuration is degenerate.
     Telemetry(TelemetryConfigError),
+    /// The xray span-tracing configuration is degenerate.
+    Xray(XrayConfigError),
     /// The cooperation configuration is degenerate.
     Coop(CoopConfigError),
     /// The background-migration configuration is degenerate.
@@ -92,6 +97,7 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::Telemetry(e) => write!(f, "ServeConfig: {e}"),
+            ServeError::Xray(e) => write!(f, "ServeConfig: {e}"),
             ServeError::Coop(e) => write!(f, "ServeConfig: {e}"),
             ServeError::Migrate(e) => write!(f, "ServeConfig: {e}"),
             ServeError::ShardDown { shard } => {
@@ -311,6 +317,11 @@ where
             coop: coordinator.clone(),
             migrate,
             telemetry: config.telemetry,
+            xray: config.xray,
+            // The *base* seed, not the shard-perturbed one: a request's
+            // sampling decision must depend only on (seed, lba, seq), so
+            // re-sharding a run keeps comparable sampled sets.
+            xray_seed: config.sibyl.seed,
         };
         let spawned = std::thread::Builder::new()
             .name(format!("sibyl-shard-{shard}"))
@@ -352,11 +363,13 @@ where
 
     let mut shards: Vec<ShardReport> = Vec::with_capacity(workers.len());
     let mut shard_telemetry: Vec<ShardTelemetry> = Vec::new();
+    let mut shard_xrays: Vec<ShardXray> = Vec::new();
     for (shard, handle) in workers.into_iter().enumerate() {
         match handle.join() {
-            Ok((report, telemetry)) => {
+            Ok((report, telemetry, xray)) => {
                 shards.push(report);
                 shard_telemetry.extend(telemetry);
+                shard_xrays.extend(xray);
             }
             // Prefer the panicking shard's index over the shard whose
             // queue the router noticed first — they can differ when one
@@ -372,7 +385,12 @@ where
         .telemetry
         .enabled()
         .then(|| TelemetryReport::new(shard_telemetry));
-    Ok(ServeReport { shards, telemetry })
+    let xray = config.xray.enabled().then(|| XrayReport::new(shard_xrays));
+    Ok(ServeReport {
+        shards,
+        telemetry,
+        xray,
+    })
 }
 
 /// Everything one worker shard needs, moved onto its thread.
@@ -388,6 +406,8 @@ struct ShardTask {
     coop: Option<Arc<Coordinator>>,
     migrate: MigrateConfig,
     telemetry: TelemetryConfig,
+    xray: XrayConfig,
+    xray_seed: u64,
 }
 
 /// Deregisters a shard from the coordinator when its thread exits — on
@@ -411,9 +431,13 @@ impl Drop for LeaveGuard {
 /// on its logical batch boundaries; repeat until the router hangs up,
 /// then leave the coordinator (via a drop guard, so a panicking shard
 /// releases its peers instead of wedging the barrier).
-fn run_shard(task: ShardTask) -> (ShardReport, Option<ShardTelemetry>) {
+fn run_shard(task: ShardTask) -> (ShardReport, Option<ShardTelemetry>, Option<ShardXray>) {
     let mut manager = StorageManager::new(&task.resolved);
     let mut agent = SibylAgent::new(task.sibyl);
+    // `XrayConfig::Off` builds no tracer — same discipline as the sink
+    // and the migrator: a disabled engine holds no xray branch that ever
+    // fires, pinning it bit-identical to one without the subsystem.
+    let mut xray = XrayTracer::new(&task.xray, task.shard, task.xray_seed);
     // `TelemetryConfig::off()` builds no sink: every telemetry branch
     // below is an `if let Some(..)` that never fires, keeping the
     // disabled engine bit-identical to one without the subsystem. The
@@ -520,6 +544,44 @@ fn run_shard(task: ShardTask) -> (ShardReport, Option<ShardTelemetry>) {
             if let Some(h) = &mut latency_hist {
                 h.record(outcome.latency_us as u64);
             }
+            if let Some(x) = &mut xray {
+                // The storage manager's sub-span hook is valid right
+                // after `access_after`: which device sat on the critical
+                // path and how its time split into queueing vs transfer.
+                let detail = manager.last_access_detail();
+                let summary = x.observe_request(&RequestObservation {
+                    lba: req.lpn,
+                    timestamp_us: req.timestamp_us as f64,
+                    arrival_us: outcome.arrival_us,
+                    latency_us: outcome.latency_us,
+                    decide_us: per_req_nn_us,
+                    train_us: per_req_delay_us - per_req_nn_us,
+                    queue_us: detail.queue_us,
+                    batch: batch.len(),
+                    device: detail.device,
+                    target: outcome.target.0,
+                    promoted: outcome.migrated_pages,
+                    evicted: outcome.evicted_pages,
+                });
+                // Sampled spans double as `xray.*` telemetry histograms:
+                // the quantized decomposition is already exact, so the
+                // registry sees the same logical-ns values the report
+                // aggregates. Sampling keeps this off the per-request
+                // hot path at any k > 0.
+                if let Some(s) = summary {
+                    if let Some(sink) = &mut sink {
+                        if sink.histograms() {
+                            let registry = sink.registry_mut();
+                            registry.histogram_record("xray.latency_ns", s.latency_ns);
+                            registry.histogram_record("xray.decide_ns", s.decide_ns);
+                            registry.histogram_record("xray.train_ns", s.train_ns);
+                            registry.histogram_record("xray.queue_ns", s.queue_ns);
+                            registry.histogram_record("xray.transfer_ns", s.transfer_ns);
+                            registry.histogram_record("xray.queue_wait_ns", s.queue_wait_ns);
+                        }
+                    }
+                }
+            }
             outcomes.push(outcome);
         }
         if let Some(sink) = &mut sink {
@@ -582,6 +644,9 @@ fn run_shard(task: ShardTask) -> (ShardReport, Option<ShardTelemetry>) {
                 let tick = m.tick(&mut manager);
                 migrations += tick.moved_pages;
                 migration_busy_us += tick.busy_us;
+                if let Some(x) = &mut xray {
+                    x.observe_migration_tick(tick.read_us, tick.write_us, tick.moved_pages);
+                }
                 if let Some(sink) = &mut sink {
                     sink.event(TraceEvent::MigrationTick {
                         tick: batches / m.config().scan_period,
@@ -640,6 +705,9 @@ fn run_shard(task: ShardTask) -> (ShardReport, Option<ShardTelemetry>) {
                     agent.absorb_experiences(&outcome.shared);
                 }
                 coop_syncs += 1;
+                if let Some(x) = &mut xray {
+                    x.observe_coop_sync();
+                }
                 if let Some(sink) = &mut sink {
                     sink.event(TraceEvent::CoopSync {
                         round: coop_syncs,
@@ -703,7 +771,7 @@ fn run_shard(task: ShardTask) -> (ShardReport, Option<ShardTelemetry>) {
         stats: manager.stats().clone(),
         agent: agent.stats().clone(),
     };
-    (report, telemetry)
+    (report, telemetry, xray.map(XrayTracer::finish))
 }
 
 #[cfg(test)]
@@ -1313,6 +1381,116 @@ mod tests {
             sloped_busy > flat_busy,
             "per-row slope must add decide cost: {sloped_busy} vs {flat_busy}"
         );
+    }
+
+    #[test]
+    fn xray_off_is_bit_identical_to_baseline_engine() {
+        // XrayConfig::Off must take the exact pre-subsystem code path:
+        // no tracer, no observations — so its report matches a config
+        // that never mentions xray, bit for bit, across shard/batch
+        // geometries.
+        let trace = mixed_trace(1_000);
+        for (shards, max_batch) in [(4usize, 16usize), (2, 8)] {
+            let baseline = serve_trace(&config(shards, max_batch), &trace).unwrap();
+            let explicit = config(shards, max_batch).with_xray(XrayConfig::Off);
+            let report = serve_trace(&explicit, &trace).unwrap();
+            assert_eq!(report, baseline, "{shards} shards × batch {max_batch}");
+            assert!(report.xray.is_none());
+        }
+    }
+
+    #[test]
+    fn xray_observes_without_perturbing_placement() {
+        // Enabling span tracing must change zero placement decisions:
+        // the per-shard reports stay bit-identical; only the `xray`
+        // section appears — with exact critical-path sums.
+        let trace = mixed_trace(1_000);
+        let cfg = config(4, 16)
+            .with_nn_ns_per_mac(10.0)
+            .with_migrate(MigrateConfig::new(MigratePolicyKind::HotCold).with_scan_period(4));
+        let baseline = serve_trace(&cfg, &trace).unwrap();
+        let traced = serve_trace(&cfg.clone().with_xray(XrayConfig::Sampled(2)), &trace).unwrap();
+        assert_eq!(traced.shards, baseline.shards);
+        let xray = traced.xray.as_ref().expect("xray section");
+        assert_eq!(xray.requests_seen(), trace.len() as u64);
+        assert!(
+            xray.sampled() > 0 && xray.sampled() < xray.requests_seen(),
+            "1/4 sampling must trace a strict subset: {}/{}",
+            xray.sampled(),
+            xray.requests_seen()
+        );
+        let merged = xray.merged_totals();
+        let comp_sum: u64 = merged.components().iter().map(|(_, ns)| ns).sum();
+        assert_eq!(comp_sum, merged.latency_ns, "shares must sum to 100%");
+        assert!(merged.decide_ns > 0, "charged NN time must be attributed");
+        assert!(merged.transfer_ns > 0, "device time must be attributed");
+        assert!(
+            xray.shards.iter().map(|s| s.migrate_ticks).sum::<u64>() > 0,
+            "migration ticks must be observed"
+        );
+        // Tail forensics: every retained span tree decomposes exactly.
+        let tail = xray.tail(5);
+        assert!(!tail.is_empty());
+        for t in &tail {
+            let path = sibyl_xray::critical_path(t);
+            assert_eq!(path.total_ns, t.latency_ns);
+            let sum: u64 = path.components.iter().map(|(_, ns)| ns).sum();
+            assert_eq!(sum, t.latency_ns, "tail trace must decompose exactly");
+        }
+        assert!(traced
+            .xray
+            .as_ref()
+            .unwrap()
+            .breakdown_table()
+            .contains("merged"));
+    }
+
+    #[test]
+    fn xray_sampled_runs_reproduce_identical_folded_exports() {
+        let trace = mixed_trace(800);
+        let cfg = config(2, 8).with_xray(XrayConfig::Sampled(1));
+        let a = serve_trace(&cfg, &trace).unwrap();
+        let b = serve_trace(&cfg, &trace).unwrap();
+        assert_eq!(a, b, "traced runs must be deterministic");
+        let folded = a.xray.as_ref().unwrap().xray_folded();
+        assert_eq!(
+            folded,
+            b.xray.as_ref().unwrap().xray_folded(),
+            "folded-stacks exports must be byte-identical"
+        );
+        assert!(folded.contains("request;hss.access;device.transfer"));
+    }
+
+    #[test]
+    fn xray_spans_feed_telemetry_histograms() {
+        let trace = mixed_trace(800);
+        let cfg = config(2, 8)
+            .with_nn_ns_per_mac(10.0)
+            .with_telemetry(TelemetryConfig::full())
+            .with_xray(XrayConfig::Sampled(0));
+        let report = serve_trace(&cfg, &trace).unwrap();
+        let xray = report.xray.as_ref().expect("xray section");
+        let telemetry = report.telemetry.as_ref().expect("telemetry section");
+        for (ts, xs) in telemetry.shards.iter().zip(&xray.shards) {
+            let lat = ts.registry.histogram("xray.latency_ns").expect("histogram");
+            assert_eq!(lat.count(), xs.totals.sampled);
+            for name in ["xray.decide_ns", "xray.queue_wait_ns", "xray.transfer_ns"] {
+                assert_eq!(
+                    ts.registry.histogram(name).expect(name).count(),
+                    xs.totals.sampled
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_xray_config_is_an_error_not_a_panic() {
+        let trace = mixed_trace(10);
+        let cfg = config(2, 8).with_xray(XrayConfig::Sampled(64));
+        assert!(matches!(
+            serve_trace(&cfg, &trace),
+            Err(ServeError::Xray(_))
+        ));
     }
 
     #[test]

@@ -84,9 +84,9 @@ pub use engine::{serve_stream, serve_trace, shard_of, ServeError, REGION_BITS};
 pub use report::{Aggregate, CurvePoint, ServeReport, ShardReport};
 
 // Re-exported so engine users can configure cooperation, background
-// migration, decide-path precision, and telemetry without direct
-// `sibyl-coop`/`sibyl-migrate`/`sibyl-core`/`sibyl-telemetry`
-// dependencies.
+// migration, decide-path precision, telemetry, and span tracing without
+// direct `sibyl-coop`/`sibyl-migrate`/`sibyl-core`/`sibyl-telemetry`/
+// `sibyl-xray` dependencies.
 pub use sibyl_coop::{CoopConfig, CoopConfigError, CoopMode};
 pub use sibyl_core::QuantMode;
 pub use sibyl_migrate::{MigrateConfig, MigrateConfigError, MigratePolicyKind};
@@ -94,3 +94,4 @@ pub use sibyl_telemetry::{
     ShardTelemetry, TelemetryConfig, TelemetryConfigError, TelemetryLevel, TelemetryReport,
     TraceEvent,
 };
+pub use sibyl_xray::{ShardXray, XrayConfig, XrayConfigError, XrayReport};

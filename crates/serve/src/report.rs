@@ -3,6 +3,7 @@
 use sibyl_core::AgentStats;
 use sibyl_hss::HssStats;
 use sibyl_telemetry::TelemetryReport;
+use sibyl_xray::XrayReport;
 
 /// One cumulative learning-curve sample, taken every
 /// [`ServeConfig::curve_every`](crate::ServeConfig::curve_every) batches
@@ -124,6 +125,13 @@ pub struct ServeReport {
     /// report's `PartialEq`, so two identically-seeded enabled runs still
     /// compare equal.
     pub telemetry: Option<TelemetryReport>,
+    /// Per-request span-tracing results (critical-path breakdown, folded
+    /// stacks, tail forensics), present only when
+    /// [`ServeConfig::xray`](crate::ServeConfig) samples. Spans live in
+    /// logical (simulated) time, so this section is part of the
+    /// deterministic result: two identically-seeded runs produce equal
+    /// reports — tracing included.
+    pub xray: Option<XrayReport>,
 }
 
 impl ServeReport {
@@ -238,6 +246,7 @@ mod tests {
                 shard(1, 300, 9_000.0, (0.0, 2e6)),
             ],
             telemetry: None,
+            xray: None,
         };
         let agg = report.aggregate();
         assert_eq!(agg.total_requests, 400);
@@ -252,6 +261,7 @@ mod tests {
         let report = ServeReport {
             shards: vec![],
             telemetry: None,
+            xray: None,
         };
         let agg = report.aggregate();
         assert_eq!(agg.total_requests, 0);

@@ -38,6 +38,18 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers, in order. Exposed so structured writers (the
+    /// bench JSON exporter) can serialize a table without re-parsing its
+    /// rendered text.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// `true` when no rows were added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

@@ -2,7 +2,7 @@
 //! → per-shard and aggregate metrics.
 
 use sibyl_serve::{
-    serve_stream, serve_trace, Aggregate, ServeConfig, ServeReport, TelemetryReport,
+    serve_stream, serve_trace, Aggregate, ServeConfig, ServeReport, TelemetryReport, XrayReport,
 };
 use sibyl_trace::{IoRequest, Trace};
 
@@ -58,6 +58,21 @@ impl ServeOutcome {
             .telemetry
             .as_ref()
             .map(TelemetryReport::render_top)
+    }
+
+    /// The run's span-tracing results — per-shard and merged
+    /// critical-path totals, folded-stacks export, tail forensics.
+    /// `None` when the run's
+    /// [`ServeConfig::xray`](sibyl_serve::ServeConfig) was off.
+    pub fn xray_report(&self) -> Option<&XrayReport> {
+        self.report.xray.as_ref()
+    }
+
+    /// The run's folded-stacks export (`stack;frames weight` lines,
+    /// flamegraph-ready; byte-identical across identically-seeded runs).
+    /// `None` when xray was off.
+    pub fn xray_folded(&self) -> Option<String> {
+        self.report.xray.as_ref().map(XrayReport::xray_folded)
     }
 }
 
@@ -197,6 +212,31 @@ mod tests {
         let top = a.telemetry_top().unwrap();
         assert!(top.contains("sibyl-top"));
         assert!(top.contains("serve.requests"));
+    }
+
+    #[test]
+    fn xray_report_is_deterministic_and_optional() {
+        let trace = msrc::generate(msrc::Workload::Prxy1, 1_200, 5);
+        let off = ServeExperiment::new(config(2), trace.clone())
+            .run()
+            .unwrap();
+        assert!(off.xray_report().is_none());
+        assert!(off.xray_folded().is_none());
+        let cfg = config(2).with_xray(sibyl_serve::XrayConfig::Sampled(0));
+        let exp = ServeExperiment::new(cfg, trace);
+        let a = exp.run().unwrap();
+        let b = exp.run().unwrap();
+        let folded = a.xray_folded().unwrap();
+        assert_eq!(
+            folded,
+            b.xray_folded().unwrap(),
+            "folded export must be byte-identical"
+        );
+        assert!(folded.contains("request;hss.access;device.transfer"));
+        let report = a.xray_report().unwrap();
+        assert_eq!(report.requests_seen(), 1_200);
+        assert_eq!(report.sampled(), 1_200, "1/2^0 sampling traces everything");
+        assert!(report.breakdown_table().contains("merged"));
     }
 
     #[test]

@@ -133,6 +133,26 @@ impl Log2Histogram {
             .map(|(k, &c)| (k, c))
     }
 
+    /// The value range bucket `k` covers, as `(inclusive lo, exclusive
+    /// hi)` — except the top bucket, whose `hi` saturates to `u64::MAX`
+    /// (inclusive). Exposed so exports can carry the boundary values
+    /// instead of making consumers re-derive the log2 layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= BUCKETS`.
+    pub fn bucket_bounds(k: usize) -> (u64, u64) {
+        assert!(k < BUCKETS, "bucket index {k} out of range");
+        (bucket_lo(k), bucket_hi(k))
+    }
+
+    /// Exact sum of all recorded samples (kept alongside the buckets as
+    /// a `u128`, so it never saturates and shares computed from two
+    /// histograms' sums are exact integer ratios).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Estimates the `p`-th percentile (`p` in `[0, 1]`) by linear
     /// interpolation within the covering bucket, clamped to the observed
     /// min/max. Returns 0 for an empty histogram.

@@ -131,6 +131,39 @@ impl TelemetryReport {
             }
         }
 
+        // When the run recorded `xray.*` span histograms, decompose the
+        // sampled latency into exact component shares: each histogram
+        // keeps the exact integer sum of its samples, and the xray
+        // tracer's integer-residual splits guarantee the component sums
+        // total the latency sum, so the shares printed here add to 100%.
+        if let Some(lat) = merged.histogram("xray.latency_ns") {
+            if lat.sum() > 0 {
+                let _ = writeln!(
+                    out,
+                    "latency breakdown ({} sampled spans, share of traced latency):",
+                    lat.count()
+                );
+                for (label, name) in [
+                    ("nn.decide", "xray.decide_ns"),
+                    ("stall.train", "xray.train_ns"),
+                    ("device.queue", "xray.queue_ns"),
+                    ("device.transfer", "xray.transfer_ns"),
+                ] {
+                    let sum = merged.histogram(name).map_or(0u128, |h| h.sum());
+                    let share = sum as f64 / lat.sum() as f64 * 100.0;
+                    let _ = writeln!(out, "  {label:<32} {share:>13.1}%");
+                }
+                if let Some(qw) = merged.histogram("xray.queue_wait_ns") {
+                    let _ = writeln!(
+                        out,
+                        "  {:<32} {:>11.1} µs",
+                        "shard.queue_wait (mean)",
+                        qw.mean() / 1_000.0
+                    );
+                }
+            }
+        }
+
         let _ = writeln!(
             out,
             "shards: {:<6} {:>10} {:>10} {:>10} {:>10}",
@@ -251,6 +284,10 @@ fn write_registry_lines(out: &mut String, shard: i64, registry: &Registry, with_
             let _ = write!(out, ",\"{label}\":");
             push_f64(out, v);
         }
+        // Each bucket entry carries its boundary values —
+        // `[index, lo, hi, count]` — so consumers read ranges directly
+        // instead of re-deriving the log2 layout (`lo` inclusive, `hi`
+        // exclusive except the saturated top bucket).
         out.push_str(",\"buckets\":[");
         let mut first = true;
         for (k, c) in h.nonzero_buckets() {
@@ -258,7 +295,8 @@ fn write_registry_lines(out: &mut String, shard: i64, registry: &Registry, with_
                 out.push(',');
             }
             first = false;
-            let _ = write!(out, "[{k},{c}]");
+            let (lo, hi) = crate::histogram::Log2Histogram::bucket_bounds(k);
+            let _ = write!(out, "[{k},{lo},{hi},{c}]");
         }
         out.push_str("]}\n");
     }
@@ -345,6 +383,66 @@ mod tests {
         let a = sample_report().export_jsonl();
         let b = sample_report().export_jsonl();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_export_carries_bucket_boundaries_byte_stable() {
+        // Golden pin of the bucket schema: `[index, lo, hi, count]`.
+        // 0 → bucket 0 [0,1), 1 → bucket 1 [1,2), 5 → bucket 3 [4,8),
+        // 1000 → bucket 10 [512,1024), u64::MAX → bucket 64 saturated.
+        let mut sink = TelemetrySink::new(&TelemetryConfig::full()).unwrap();
+        let r = sink.registry_mut();
+        for v in [0u64, 1, 5, 1000, u64::MAX] {
+            r.histogram_record("pin.values", v);
+        }
+        let report = TelemetryReport::new(vec![sink.finish(0)]);
+        let jsonl = report.export_jsonl();
+        let expected = format!(
+            "\"buckets\":[[0,0,1,1],[1,1,2,1],[3,4,8,1],[10,512,1024,1],[64,{},{},1]]",
+            1u64 << 63,
+            u64::MAX
+        );
+        assert!(
+            jsonl.contains(&expected),
+            "bucket boundary schema drifted:\n{jsonl}"
+        );
+        // Byte stability: identical recordings export identical text.
+        let again = {
+            let mut sink = TelemetrySink::new(&TelemetryConfig::full()).unwrap();
+            let r = sink.registry_mut();
+            for v in [0u64, 1, 5, 1000, u64::MAX] {
+                r.histogram_record("pin.values", v);
+            }
+            TelemetryReport::new(vec![sink.finish(0)]).export_jsonl()
+        };
+        assert_eq!(jsonl, again);
+    }
+
+    #[test]
+    fn top_renders_xray_latency_breakdown_with_exact_shares() {
+        let mut sink = TelemetrySink::new(&TelemetryConfig::full()).unwrap();
+        let r = sink.registry_mut();
+        // Two sampled spans whose components sum exactly to latency.
+        for (lat, dec, train, queue, transfer) in [
+            (10_000u64, 1_000u64, 500u64, 2_500u64, 6_000u64),
+            (20_000, 2_000, 0, 8_000, 10_000),
+        ] {
+            r.histogram_record("xray.latency_ns", lat);
+            r.histogram_record("xray.decide_ns", dec);
+            r.histogram_record("xray.train_ns", train);
+            r.histogram_record("xray.queue_ns", queue);
+            r.histogram_record("xray.transfer_ns", transfer);
+            r.histogram_record("xray.queue_wait_ns", 3_000);
+        }
+        let top = TelemetryReport::new(vec![sink.finish(0)]).render_top();
+        assert!(top.contains("latency breakdown (2 sampled spans"));
+        assert!(top.contains("nn.decide"), "{top}");
+        assert!(top.contains("10.0%"), "decide share: {top}");
+        assert!(top.contains("35.0%"), "queue share: {top}");
+        assert!(top.contains("53.3%"), "transfer share: {top}");
+        assert!(top.contains("shard.queue_wait (mean)"));
+        // A run without xray histograms renders no breakdown section.
+        assert!(!sample_report().render_top().contains("latency breakdown"));
     }
 
     #[test]

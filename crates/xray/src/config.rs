@@ -1,0 +1,175 @@
+//! Tracing configuration and the deterministic request sampler.
+
+/// Largest admissible sampling exponent: `1/2^32` is already far below
+/// one sampled request per 10M-request stream; anything larger is a
+/// typo, not a rate.
+pub const MAX_SAMPLE_EXPONENT: u32 = 32;
+
+/// Whether — and how densely — the engine traces requests.
+///
+/// The default, [`XrayConfig::Off`], constructs no tracer at all: the
+/// serving engine contains no xray branch that ever fires, and its
+/// report is pinned bit-identical to one from a configuration that never
+/// mentions xray. [`XrayConfig::Sampled`]`(k)` traces a deterministic
+/// `1/2^k` of each shard's requests (`Sampled(0)` traces every request),
+/// selected by a stateless splitmix64 hash of `(seed, lba, seq)` — see
+/// [`is_sampled`] — so the sampled set is reproducible across runs,
+/// independent of thread scheduling, and computable in O(1) per request
+/// on a 10M-request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum XrayConfig {
+    /// No tracer is constructed; the engine is bit-identical to one
+    /// without the subsystem.
+    #[default]
+    Off,
+    /// Trace a deterministic `1/2^k` sample of requests.
+    Sampled(u32),
+}
+
+impl XrayConfig {
+    /// `true` when a tracer will be constructed.
+    pub fn enabled(&self) -> bool {
+        matches!(self, XrayConfig::Sampled(_))
+    }
+
+    /// The sampling exponent `k` (`None` when off).
+    pub fn sample_exponent(&self) -> Option<u32> {
+        match self {
+            XrayConfig::Off => None,
+            XrayConfig::Sampled(k) => Some(*k),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XrayConfigError::SampleExponentTooLarge`] when the
+    /// exponent exceeds [`MAX_SAMPLE_EXPONENT`].
+    pub fn validate(&self) -> Result<(), XrayConfigError> {
+        match self {
+            XrayConfig::Off => Ok(()),
+            XrayConfig::Sampled(k) if *k <= MAX_SAMPLE_EXPONENT => Ok(()),
+            XrayConfig::Sampled(k) => Err(XrayConfigError::SampleExponentTooLarge(*k)),
+        }
+    }
+}
+
+/// Degenerate [`XrayConfig`] settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XrayConfigError {
+    /// The sampling exponent exceeds [`MAX_SAMPLE_EXPONENT`].
+    SampleExponentTooLarge(u32),
+}
+
+impl std::fmt::Display for XrayConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XrayConfigError::SampleExponentTooLarge(k) => write!(
+                f,
+                "xray sample exponent {k} exceeds {MAX_SAMPLE_EXPONENT} (rate 1/2^k)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for XrayConfigError {}
+
+/// The splitmix64 finalizer — the same stateless avalanching mix the
+/// engine's LBA router and the page directory use.
+fn splitmix64(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// The sampling hash of one request: a stateless mix of the run seed,
+/// the request's starting LBA, and its per-shard sequence number.
+/// Including `seq` keeps repeated accesses to a hot LBA from being
+/// all-sampled or all-skipped; including `seed` re-rolls the sampled set
+/// with the workload.
+pub fn sample_hash(seed: u64, lba: u64, seq: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(lba) ^ splitmix64(seq).rotate_left(17))
+}
+
+/// The deterministic sampling decision: `true` for a `1/2^k` subset of
+/// `(lba, seq)` pairs under `seed`. `k = 0` samples everything. The
+/// decision is pure — no state beyond the three inputs — so it is
+/// identical across runs and safe on unbounded streams.
+pub fn is_sampled(seed: u64, lba: u64, seq: u64, k: u32) -> bool {
+    if k == 0 {
+        return true;
+    }
+    let mask = (1u64 << k.min(63)) - 1;
+    sample_hash(seed, lba, seq) & mask == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_default_and_disabled() {
+        assert_eq!(XrayConfig::default(), XrayConfig::Off);
+        assert!(!XrayConfig::Off.enabled());
+        assert!(XrayConfig::Sampled(6).enabled());
+        assert_eq!(XrayConfig::Sampled(6).sample_exponent(), Some(6));
+        assert_eq!(XrayConfig::Off.sample_exponent(), None);
+    }
+
+    #[test]
+    fn validate_bounds_the_exponent() {
+        XrayConfig::Off.validate().unwrap();
+        XrayConfig::Sampled(0).validate().unwrap();
+        XrayConfig::Sampled(MAX_SAMPLE_EXPONENT).validate().unwrap();
+        let err = XrayConfig::Sampled(33).validate().unwrap_err();
+        assert_eq!(err, XrayConfigError::SampleExponentTooLarge(33));
+        assert!(err.to_string().contains("33"));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        for (seed, lba, seq) in [(42u64, 7u64, 0u64), (1, u64::MAX, 123), (0, 0, 0)] {
+            for k in [0u32, 1, 6, 32] {
+                assert_eq!(
+                    is_sampled(seed, lba, seq, k),
+                    is_sampled(seed, lba, seq, k),
+                    "sampling must be a pure function"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_samples_everything() {
+        for seq in 0..100 {
+            assert!(is_sampled(9, 1234, seq, 0));
+        }
+    }
+
+    #[test]
+    fn sample_rate_tracks_two_to_the_minus_k() {
+        let n = 200_000u64;
+        for k in [3u32, 6] {
+            let hits = (0..n)
+                .filter(|&seq| is_sampled(42, seq * 13, seq, k))
+                .count() as f64;
+            let expect = n as f64 / f64::from(1u32 << k);
+            assert!(
+                (hits - expect).abs() < expect * 0.15,
+                "k={k}: {hits} sampled, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_lba_is_not_all_or_nothing() {
+        // Repeated accesses to one LBA must spread across the sample: the
+        // seq term re-rolls the decision per access.
+        let hits = (0..4096u64)
+            .filter(|&seq| is_sampled(42, 777, seq, 4))
+            .count();
+        assert!(hits > 0 && hits < 4096, "hot-LBA sample degenerate: {hits}");
+    }
+}

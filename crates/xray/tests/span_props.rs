@@ -1,0 +1,170 @@
+//! Property pins for the span tracer's structural invariants — the
+//! three guarantees everything downstream (breakdown tables, folded
+//! stacks, telemetry histograms) builds on:
+//!
+//! - **Containment**: in every sampled span tree, a child span lies
+//!   entirely inside its parent's interval, however adversarial the
+//!   observed timings (clamping in the tracer, not the caller, enforces
+//!   this).
+//! - **Exact attribution**: the critical-path components of every trace
+//!   sum to *exactly* its recorded latency — integer arithmetic with the
+//!   residual assigned to the last split, no float drift — and the
+//!   streaming totals preserve that exactness across any number of
+//!   requests.
+//! - **Reproducibility**: feeding the same observations to same-seed
+//!   tracers yields byte-identical folded-stacks exports.
+
+use proptest::prelude::*;
+
+use sibyl_xray::{critical_path, RequestObservation, Span, XrayConfig, XrayReport, XrayTracer};
+
+/// Raw generator tuple for one observation; [`build`] lifts it into a
+/// [`RequestObservation`] (the vendored proptest shim has no `prop_map`,
+/// so the mapping happens in the test body). Components are deliberately
+/// allowed to exceed the latency they decompose (decide up to 500 µs
+/// against latencies down to 0) so the tracer's clamping is exercised,
+/// and timestamps may exceed arrivals (closed-loop replay never produces
+/// that, but the tracer must not panic on it).
+type RawObs = (
+    (u64, f64, f64, f64),  // lba, timestamp_us, arrival_us, latency_us
+    (f64, f64, f64),       // decide_us, train_us, queue_us
+    (usize, usize, usize), // batch, device, target
+    (u64, u64),            // promoted, evicted
+);
+
+/// The [`RawObs`] strategy.
+#[allow(clippy::type_complexity)]
+fn observation() -> (
+    (
+        core::ops::Range<u64>,
+        core::ops::Range<f64>,
+        core::ops::Range<f64>,
+        core::ops::Range<f64>,
+    ),
+    (
+        core::ops::Range<f64>,
+        core::ops::Range<f64>,
+        core::ops::Range<f64>,
+    ),
+    (
+        core::ops::RangeInclusive<usize>,
+        core::ops::Range<usize>,
+        core::ops::Range<usize>,
+    ),
+    (core::ops::Range<u64>, core::ops::Range<u64>),
+) {
+    (
+        (0u64..1 << 24, 0.0f64..1e6, 0.0f64..1e6, 0.0f64..10_000.0),
+        (0.0f64..500.0, 0.0f64..500.0, 0.0f64..10_000.0),
+        (1usize..=32, 0usize..4, 0usize..4),
+        (0u64..16, 0u64..16),
+    )
+}
+
+/// Lifts one generated tuple into the tracer's observation record.
+fn build(raw: &RawObs) -> RequestObservation {
+    let (
+        (lba, timestamp_us, arrival_us, latency_us),
+        (decide_us, train_us, queue_us),
+        (batch, device, target),
+        (promoted, evicted),
+    ) = *raw;
+    RequestObservation {
+        lba,
+        timestamp_us,
+        arrival_us,
+        latency_us,
+        decide_us,
+        train_us,
+        queue_us,
+        batch,
+        device,
+        target,
+        promoted,
+        evicted,
+    }
+}
+
+/// Recursively asserts every child lies inside its parent's interval.
+fn assert_contained(parent: &Span) {
+    for child in &parent.children {
+        assert!(
+            child.start_ns >= parent.start_ns,
+            "child {} starts at {} before parent {} at {}",
+            child.kind.name(),
+            child.start_ns,
+            parent.kind.name(),
+            parent.start_ns
+        );
+        assert!(
+            child.end_ns() <= parent.end_ns(),
+            "child {} ends at {} past parent {} at {}",
+            child.kind.name(),
+            child.end_ns(),
+            parent.kind.name(),
+            parent.end_ns()
+        );
+        assert!(child.dur_ns <= parent.dur_ns);
+        assert_contained(child);
+    }
+}
+
+proptest! {
+    /// Containment: every sampled span tree keeps children inside their
+    /// parents, whatever the observed timings.
+    #[test]
+    fn child_spans_never_exceed_their_parent(raw in proptest::collection::vec(observation(), 1..40)) {
+        let mut tracer = XrayTracer::new(&XrayConfig::Sampled(0), 0, 7).expect("sampled tracer");
+        for r in &raw {
+            tracer.observe_request(&build(r));
+        }
+        let shard = tracer.finish();
+        prop_assert_eq!(shard.requests_seen, raw.len() as u64);
+        prop_assert!(!shard.tail.is_empty(), "Sampled(0) must trace every request");
+        for trace in &shard.tail {
+            assert_contained(&trace.root);
+        }
+    }
+
+    /// Exact attribution: per-trace critical-path components sum to the
+    /// recorded latency, and the streamed totals keep the same exactness
+    /// over the whole run — both as plain integer equalities (the
+    /// residual split leaves no drift for any input).
+    #[test]
+    fn critical_path_components_sum_exactly_to_latency(raw in proptest::collection::vec(observation(), 1..40)) {
+        let mut tracer = XrayTracer::new(&XrayConfig::Sampled(0), 0, 7).expect("sampled tracer");
+        for r in &raw {
+            tracer.observe_request(&build(r));
+        }
+        let shard = tracer.finish();
+        for trace in &shard.tail {
+            let path = critical_path(trace);
+            let sum: u64 = path.components.iter().map(|&(_, ns)| ns).sum();
+            prop_assert_eq!(sum, trace.latency_ns);
+            prop_assert_eq!(path.total_ns, trace.latency_ns);
+        }
+        let totals = &shard.totals;
+        let sum: u64 = totals.components().iter().map(|&(_, ns)| ns).sum();
+        prop_assert_eq!(sum, totals.latency_ns);
+    }
+
+    /// Reproducibility: same observations + same seed → byte-identical
+    /// folded-stacks exports, at every sampling rate.
+    #[test]
+    fn same_seed_runs_export_identical_folded_stacks(
+        raw in proptest::collection::vec(observation(), 1..60),
+        seed in 0u64..1000,
+        exponent in 0u32..4,
+    ) {
+        let run = || {
+            let mut tracer = XrayTracer::new(&XrayConfig::Sampled(exponent), 0, seed)
+                .expect("sampled tracer");
+            for r in &raw {
+                tracer.observe_request(&build(r));
+            }
+            XrayReport::new(vec![tracer.finish()]).xray_folded()
+        };
+        // Byte-identical: the export is a pure function of (seed, inputs).
+        prop_assert_eq!(run(), run());
+    }
+}
